@@ -1,0 +1,435 @@
+package genas
+
+// One benchmark per table and figure of the paper's evaluation (§4.3), plus
+// the ablations called out in DESIGN.md §4. The figure benchmarks report the
+// paper's metric — average comparison operations per event — via
+// b.ReportMetric, so `go test -bench` regenerates the numbers EXPERIMENTS.md
+// records; cmd/reproduce prints the same data as full tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genas/internal/dist"
+	"genas/internal/event"
+	"genas/internal/experiments"
+	"genas/internal/matchers"
+	"genas/internal/predicate"
+	"genas/internal/routing"
+	"genas/internal/schema"
+	"genas/internal/selectivity"
+	"genas/internal/tree"
+)
+
+const benchSeed = 1
+
+// reportSeries publishes every cell of a figure as a named metric.
+func reportSeries(b *testing.B, tab experiments.Table) {
+	b.Helper()
+	for _, s := range tab.Series {
+		sum := 0.0
+		for _, v := range s.Values {
+			sum += v
+		}
+		b.ReportMetric(sum/float64(len(s.Values)), "ops/event:"+sanitize(s.Label))
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '*':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig4a regenerates Fig. 4(a): value reordering by Measure V1 vs
+// natural order vs binary search (scenario TV4).
+func BenchmarkFig4a(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Fig4a(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, tab)
+}
+
+// BenchmarkFig4b regenerates Fig. 4(b): Measures V1–V3 vs binary search.
+func BenchmarkFig4b(b *testing.B) {
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Fig4b(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, tab)
+}
+
+// BenchmarkFig5a/b/c regenerate Fig. 5: operations per event, per profile,
+// and per event and profile.
+func BenchmarkFig5a(b *testing.B) {
+	benchFigure(b, experiments.Fig5a)
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	benchFigure(b, experiments.Fig5b)
+}
+
+func BenchmarkFig5c(b *testing.B) {
+	benchFigure(b, experiments.Fig5c)
+}
+
+// BenchmarkFig6a regenerates Fig. 6(a): attribute reordering with wide
+// selectivity differences (TA1).
+func BenchmarkFig6a(b *testing.B) {
+	benchFigure(b, experiments.Fig6a)
+}
+
+// BenchmarkFig6b regenerates Fig. 6(b): small selectivity differences (TA2).
+func BenchmarkFig6b(b *testing.B) {
+	benchFigure(b, experiments.Fig6b)
+}
+
+func benchFigure(b *testing.B, f func(int64) (experiments.Table, error)) {
+	b.Helper()
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = f(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, tab)
+}
+
+// BenchmarkTV1 measures scenario TV1: tree creation over 10,000 profiles
+// plus events until 95% precision.
+func BenchmarkTV1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TV1(3, 10000, "95% low", "equal", "event", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanOps, "ops/event")
+		b.ReportMetric(float64(r.BuildTime.Milliseconds()), "build-ms")
+	}
+}
+
+// BenchmarkTV2 measures scenario TV2 (prebuilt tree, precision stop).
+func BenchmarkTV2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TV2(3, 10000, "95% low", "equal", "event", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanOps, "ops/event")
+	}
+}
+
+// BenchmarkTV3 measures scenario TV3 (one attribute, 4,000 events).
+func BenchmarkTV3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TV3(2000, "95% low", "equal", "event", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanOps, "ops/event")
+	}
+}
+
+// BenchmarkTV4 measures scenario TV4 (analytic, Eq. 2).
+func BenchmarkTV4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TV4(2000, "95% low", "equal", "event", benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanOps, "ops/event")
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ---------------------------------------------------
+
+// benchWorkload builds a shared matching workload: p equality profiles over
+// a peaked profile distribution, events from a peaked event distribution.
+func benchWorkload(p int) (*schema.Schema, []*predicate.Profile, []dist.Dist, [][]float64) {
+	s := experiments.Schema1D()
+	rng := rand.New(rand.NewSource(benchSeed))
+	pd := dist.New(dist.PeakLow(0.8), s.At(0).Domain)
+	ed := []dist.Dist{dist.New(dist.PeakLow(0.9), s.At(0).Domain)}
+	profiles := experiments.GenProfiles1D(s, p, pd, rng)
+	events := make([][]float64, 4096)
+	for i := range events {
+		events[i] = []float64{ed[0].Sample(rng)}
+	}
+	return s, profiles, ed, events
+}
+
+// BenchmarkAblationNodeSearch contrasts the three within-node strategies on
+// the same ordered tree: linear with early termination, linear without, and
+// binary search.
+func BenchmarkAblationNodeSearch(b *testing.B) {
+	s, profiles, ed, events := benchWorkload(2000)
+	for _, strategy := range []tree.Search{tree.SearchLinear, tree.SearchLinearNoStop, tree.SearchBinary, tree.SearchInterpolation, tree.SearchHash} {
+		b.Run(strategy.String(), func(b *testing.B) {
+			tr, err := tree.Build(s, profiles, tree.WithSearch(strategy))
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.ApplyValueOrder(selectivity.V1(ed, true))
+			b.ResetTimer()
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				_, o := tr.Match(events[i%len(events)])
+				ops += o
+			}
+			b.ReportMetric(float64(ops)/float64(b.N), "ops/event")
+		})
+	}
+}
+
+// BenchmarkAblationMatchers contrasts the tree filter against the naive and
+// counting baselines (§2's three algorithm families).
+func BenchmarkAblationMatchers(b *testing.B) {
+	s, profiles, ed, events := benchWorkload(2000)
+	tr, err := tree.Build(s, profiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.ApplyValueOrder(selectivity.V1(ed, true))
+	all := []matchers.Matcher{
+		matchers.Tree{T: tr},
+		matchers.NewCounting(s, profiles),
+		matchers.NewNaive(s, profiles),
+	}
+	for _, m := range all {
+		b.Run(m.Name(), func(b *testing.B) {
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				_, o := m.Match(events[i%len(events)])
+				ops += o
+			}
+			b.ReportMetric(float64(ops)/float64(b.N), "ops/event")
+		})
+	}
+}
+
+// BenchmarkAblationValueOrder contrasts the 8 orderings + binary on one
+// peaked workload (the paper's "8 different orderings plus binary search").
+func BenchmarkAblationValueOrder(b *testing.B) {
+	for _, order := range []string{
+		"natural", "event", "profile", "event*profile", "binary",
+	} {
+		b.Run(sanitize(order), func(b *testing.B) {
+			var ops float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.TV4(2000, "95% low", "95% low", order, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops = r.MeanOps
+			}
+			b.ReportMetric(ops, "ops/event")
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive contrasts a static natural-order service with
+// the adaptive one under a drifting peaked stream (end-to-end broker path).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	sch := MustSchema(Attr("v", MustIntegerDomain(0, 99)))
+	rng := rand.New(rand.NewSource(benchSeed))
+	mk := func(opts ...Option) *Service {
+		svc, err := NewService(sch, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			expr := fmt.Sprintf("profile(v = %d)", rng.Intn(100))
+			if _, err := svc.Subscribe(fmt.Sprintf("p%d", i), expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return svc
+	}
+	ed := dist.New(dist.PeakHigh(0.95), sch.At(0).Domain)
+	run := func(b *testing.B, svc *Service) {
+		defer svc.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Publish(map[string]float64{"v": ed.Sample(rng)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(svc.Stats().MeanOps, "ops/event")
+	}
+	b.Run("static", func(b *testing.B) { run(b, mk()) })
+	b.Run("adaptive", func(b *testing.B) { run(b, mk(WithAdaptivePolicy(512, 0.05, false))) })
+}
+
+// BenchmarkAblationCovering contrasts the overlay with and without
+// covering-based route pruning.
+func BenchmarkAblationCovering(b *testing.B) {
+	sch := MustSchema(Attr("price", MustNumericDomain(0, 1000)))
+	for _, covering := range []bool{false, true} {
+		name := "off"
+		if covering {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			nw := routing.NewNetwork(sch, routing.Options{Covering: covering})
+			defer nw.Close()
+			for _, n := range []string{"A", "B", "C"} {
+				if _, err := nw.AddNode(n); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := nw.Connect("A", "B"); err != nil {
+				b.Fatal(err)
+			}
+			if err := nw.Connect("B", "C"); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(benchSeed))
+			// Nested ranges: heavy covering potential.
+			for i := 0; i < 100; i++ {
+				lo := float64(rng.Intn(400))
+				expr := fmt.Sprintf("profile(price >= %g)", lo)
+				p, err := predicate.Parse(sch, predicate.ID(fmt.Sprintf("r%d", i)), expr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nw.Subscribe("C", p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			a, err := nw.Node("A")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(a.RouteCount("B")), "routes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev, err := event.New(sch, float64(rng.Intn(1001)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nw.Publish("A", ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatchThroughput measures raw single-event matching latency of the
+// optimized tree (the end-to-end hot path without broker overhead).
+func BenchmarkMatchThroughput(b *testing.B) {
+	for _, p := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			s, profiles, ed, events := benchWorkload(p)
+			tr, err := tree.Build(s, profiles)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr.ApplyValueOrder(selectivity.V1(ed, true))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Match(events[i%len(events)])
+			}
+		})
+	}
+}
+
+// BenchmarkTreeBuild measures automaton construction cost (the expensive
+// half of restructuring).
+func BenchmarkTreeBuild(b *testing.B) {
+	for _, p := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			s, profiles, _, _ := benchWorkload(p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tree.Build(s, profiles); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReorder measures the cheap half of restructuring: re-applying a
+// value order without rebuilding.
+func BenchmarkReorder(b *testing.B) {
+	s, profiles, ed, _ := benchWorkload(2000)
+	tr, err := tree.Build(s, profiles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vo := selectivity.V1(ed, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ApplyValueOrder(vo)
+	}
+}
+
+// BenchmarkExtensionDontCare regenerates the don't-care-edge influence sweep
+// (paper §5 outlook).
+func BenchmarkExtensionDontCare(b *testing.B) {
+	benchFigure(b, experiments.DontCareSweep)
+}
+
+// BenchmarkExtensionOperators regenerates the operator-family sweep (paper
+// §5 outlook).
+func BenchmarkExtensionOperators(b *testing.B) {
+	benchFigure(b, experiments.OperatorSweep)
+}
+
+// BenchmarkExtensionSearch regenerates the five-strategy search comparison
+// (paper §5 outlook: binary-, interpolation-, or hash-based search).
+func BenchmarkExtensionSearch(b *testing.B) {
+	benchFigure(b, experiments.SearchSweep)
+}
+
+// BenchmarkMatchBatch measures parallel batch matching against the
+// sequential path on the same workload.
+func BenchmarkMatchBatch(b *testing.B) {
+	sch := MustSchema(Attr("v", MustIntegerDomain(0, 99)))
+	svc, err := NewService(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	rng := rand.New(rand.NewSource(benchSeed))
+	for i := 0; i < 500; i++ {
+		if _, err := svc.Subscribe(fmt.Sprintf("p%d", i), fmt.Sprintf("profile(v = %d)", rng.Intn(100))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	events := make([][]float64, 4096)
+	for i := range events {
+		events[i] = []float64{float64(rng.Intn(100))}
+	}
+	engine := svc.Broker().Engine()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.MatchBatch(events, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(events)))
+		})
+	}
+}

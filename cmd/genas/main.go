@@ -1,0 +1,275 @@
+// Command genas is the GENAS client: subscribe to profiles, publish events,
+// query quenching and statistics against a running genasd.
+//
+// Usage:
+//
+//	genas -addr localhost:7452 sub 'alarm' 'profile(temperature >= 35)'
+//	genas -addr localhost:7452 pub 'temperature=40; humidity=90; radiation=5'
+//	genas -addr localhost:7452 quench temperature 0 10
+//	genas -addr localhost:7452 stats
+//	genas -addr localhost:7452 schema
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"genas/internal/codec"
+	"genas/internal/wire"
+)
+
+const rpcTimeout = 5 * time.Second
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr = flag.String("addr", "localhost:7452", "daemon address")
+		wait = flag.Duration("wait", 0, "after subscribing, listen for notifications this long (0 = forever)")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "genas: ", 0)
+
+	args := flag.Args()
+	if len(args) == 0 {
+		logger.Print("usage: genas [flags] sub|pub|quench|stats|schema …")
+		return 2
+	}
+
+	c, err := wire.Dial(*addr, rpcTimeout)
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	defer func() { _ = c.Close() }()
+
+	switch args[0] {
+	case "sub":
+		if len(args) < 3 {
+			logger.Print("usage: genas sub <id> <profile-expression> [priority]")
+			return 2
+		}
+		priority := 0.0
+		if len(args) > 3 {
+			priority, err = strconv.ParseFloat(args[3], 64)
+			if err != nil {
+				logger.Printf("bad priority: %v", err)
+				return 2
+			}
+		}
+		if err := c.Subscribe(args[1], args[2], priority, rpcTimeout); err != nil {
+			logger.Print(err)
+			return 1
+		}
+		fmt.Printf("subscribed %s\n", args[1])
+		return listen(c, *wait)
+
+	case "pub":
+		if len(args) < 2 {
+			logger.Print("usage: genas pub 'attr=value; attr=value; …'")
+			return 2
+		}
+		ev, err := parseEventArg(args[1])
+		if err != nil {
+			logger.Print(err)
+			return 2
+		}
+		matched, err := c.Publish(ev, rpcTimeout)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		fmt.Printf("matched %d profile(s)\n", matched)
+		return 0
+
+	case "quench":
+		if len(args) != 4 {
+			logger.Print("usage: genas quench <attr> <lo> <hi>")
+			return 2
+		}
+		lo, err1 := strconv.ParseFloat(args[2], 64)
+		hi, err2 := strconv.ParseFloat(args[3], 64)
+		if err1 != nil || err2 != nil {
+			logger.Print("bad bounds")
+			return 2
+		}
+		q, err := c.Quench(args[1], lo, hi, rpcTimeout)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		fmt.Printf("quenched=%v\n", q)
+		return 0
+
+	case "stats":
+		st, err := c.Stats(rpcTimeout)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		fmt.Printf("subscriptions: %d\npublished: %d\ndelivered: %d\ndropped: %d\n",
+			st.Subscriptions, st.Published, st.Delivered, st.Dropped)
+		fmt.Printf("filter events: %d\nfilter ops: %d\nmean ops/event: %.3f\n",
+			st.FilterEvents, st.FilterOps, st.MeanOps)
+		if st.Restructures > 0 {
+			fmt.Printf("adaptive restructures: %d\n", st.Restructures)
+		}
+		return 0
+
+	case "schema":
+		attrs, err := c.Schema(rpcTimeout)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		for _, a := range attrs {
+			if len(a.Labels) > 0 {
+				fmt.Printf("%s: cat{%s}\n", a.Name, strings.Join(a.Labels, ","))
+				continue
+			}
+			fmt.Printf("%s: %s[%g,%g]\n", a.Name, a.Kind, a.Lo, a.Hi)
+		}
+		return 0
+
+	case "profiles":
+		profiles, err := c.Profiles(rpcTimeout)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		for _, p := range profiles {
+			if p.Priority > 0 {
+				fmt.Printf("%s (priority %g): %s\n", p.ID, p.Priority, p.Expr)
+				continue
+			}
+			fmt.Printf("%s: %s\n", p.ID, p.Expr)
+		}
+		return 0
+
+	case "export":
+		// Write the daemon's schema and profile corpus as a codec envelope
+		// to stdout.
+		if err := exportEnvelope(c, os.Stdout); err != nil {
+			logger.Print(err)
+			return 1
+		}
+		return 0
+
+	case "import":
+		// Read a codec envelope from stdin and subscribe every profile on
+		// this connection (the subscriptions live as long as the process).
+		n, err := importEnvelope(c, os.Stdin)
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		fmt.Printf("imported %d profiles\n", n)
+		return listen(c, *wait)
+
+	default:
+		logger.Printf("unknown command %q", args[0])
+		return 2
+	}
+}
+
+// exportEnvelope writes the daemon's schema and profiles as a codec
+// envelope.
+func exportEnvelope(c *wire.Client, w io.Writer) error {
+	attrs, err := c.Schema(rpcTimeout)
+	if err != nil {
+		return err
+	}
+	profiles, err := c.Profiles(rpcTimeout)
+	if err != nil {
+		return err
+	}
+	env := codec.Envelope{Version: codec.Version}
+	for _, a := range attrs {
+		env.Schema = append(env.Schema, codec.AttrDoc{
+			Name: a.Name, Kind: a.Kind, Lo: a.Lo, Hi: a.Hi, Labels: a.Labels,
+		})
+	}
+	for _, p := range profiles {
+		env.Profiles = append(env.Profiles, codec.ProfileDoc{
+			ID: p.ID, Expr: p.Expr, Priority: p.Priority,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false) // keep profile operators like >= readable
+	return enc.Encode(env)
+}
+
+// importEnvelope subscribes every profile of a codec envelope on the
+// current connection and returns the count.
+func importEnvelope(c *wire.Client, r io.Reader) (int, error) {
+	var env codec.Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return 0, fmt.Errorf("parse envelope: %w", err)
+	}
+	if env.Version != codec.Version {
+		return 0, fmt.Errorf("unsupported envelope version %d", env.Version)
+	}
+	for i, p := range env.Profiles {
+		if err := c.Subscribe(p.ID, p.Expr, p.Priority, rpcTimeout); err != nil {
+			return i, fmt.Errorf("profile %s: %w", p.ID, err)
+		}
+	}
+	return len(env.Profiles), nil
+}
+
+// parseEventArg reads "attr=value; attr=value".
+func parseEventArg(text string) (map[string]float64, error) {
+	text = strings.TrimPrefix(strings.TrimSuffix(strings.TrimSpace(text), ")"), "event(")
+	out := make(map[string]float64)
+	for _, part := range strings.Split(text, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("missing '=' in %q", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(part[eq+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", part)
+		}
+		out[strings.TrimSpace(part[:eq])] = v
+	}
+	return out, nil
+}
+
+// listen prints notifications until the timeout (0 = forever).
+func listen(c *wire.Client, d time.Duration) int {
+	var timeout <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for {
+		select {
+		case n, ok := <-c.Notifications():
+			if !ok {
+				return 0
+			}
+			parts := make([]string, 0, len(n.Event))
+			for k, v := range n.Event {
+				parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+			}
+			fmt.Printf("notification #%d for %s: %s\n", n.Seq, n.Profile, strings.Join(parts, " "))
+		case <-timeout:
+			return 0
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command genasd runs the GENAS event notification daemon: a TCP broker
+// speaking the JSON-line wire protocol. The attribute schema is defined at
+// startup; profiles, events and quench queries arrive at runtime.
+//
+// Usage:
+//
+//	genasd -addr :7452 \
+//	       -schema 'temperature=numeric[-30,50]; humidity=numeric[0,100]; radiation=numeric[1,100]' \
+//	       -adaptive -measure event -attrs A2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"genas/internal/adaptive"
+	"genas/internal/broker"
+	"genas/internal/core"
+	"genas/internal/schema"
+	"genas/internal/tree"
+	"genas/internal/wire"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":7452", "TCP listen address")
+		schemaSpec = flag.String("schema", "", "schema spec, e.g. 'temp=numeric[-30,50]; state=cat{ok,alarm}'")
+		adaptiveOn = flag.Bool("adaptive", false, "enable adaptive tree restructuring")
+		goal       = flag.String("goal", "event", "adaptive goal: event | user")
+		window     = flag.Int("window", 1024, "events between drift checks")
+		threshold  = flag.Float64("threshold", 0.1, "total-variation drift threshold")
+		measure    = flag.String("measure", "natural", "value measure: natural | event | profile | event*profile")
+		attrs      = flag.String("attrs", "natural", "attribute ordering: natural | A1 | A2 | A3")
+		search     = flag.String("search", "linear", "node search: linear | binary | interpolation | hash")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "genasd: ", log.LstdFlags)
+	if *schemaSpec == "" {
+		logger.Print("missing -schema")
+		return 2
+	}
+	sch, err := schema.ParseSpec(*schemaSpec)
+	if err != nil {
+		logger.Printf("bad schema: %v", err)
+		return 2
+	}
+
+	cfg, err := engineConfig(*measure, *attrs, *search)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	opts := broker.Options{Engine: cfg, Adaptive: *adaptiveOn}
+	if *adaptiveOn {
+		opts.Policy = adaptive.Policy{Window: *window, Threshold: *threshold}
+		if *goal == "user" {
+			opts.Policy.Goal = adaptive.UserCentric
+		}
+	}
+	brk, err := broker.New(sch, opts)
+	if err != nil {
+		logger.Printf("broker: %v", err)
+		return 1
+	}
+	defer brk.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Printf("listen: %v", err)
+		return 1
+	}
+	logger.Printf("listening on %s with schema %s", ln.Addr(), sch)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := wire.NewServer(brk, logger)
+	defer srv.Close()
+	if err := srv.Serve(ctx, ln); err != nil {
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+	logger.Print("shut down")
+	return 0
+}
+
+func engineConfig(measure, attrs, search string) (core.Config, error) {
+	var cfg core.Config
+	switch measure {
+	case "natural":
+		cfg.ValueMeasure = core.ValueNatural
+	case "event":
+		cfg.ValueMeasure = core.ValueEvent
+	case "profile":
+		cfg.ValueMeasure = core.ValueProfile
+	case "event*profile":
+		cfg.ValueMeasure = core.ValueCombined
+	default:
+		return cfg, fmt.Errorf("unknown -measure %q", measure)
+	}
+	switch attrs {
+	case "natural":
+		cfg.AttrOrdering = core.AttrNatural
+	case "A1":
+		cfg.AttrOrdering = core.AttrA1
+	case "A2":
+		cfg.AttrOrdering = core.AttrA2
+	case "A3":
+		cfg.AttrOrdering = core.AttrA3
+	default:
+		return cfg, fmt.Errorf("unknown -attrs %q", attrs)
+	}
+	switch search {
+	case "linear":
+		cfg.Search = tree.SearchLinear
+	case "binary":
+		cfg.Search = tree.SearchBinary
+	case "interpolation":
+		cfg.Search = tree.SearchInterpolation
+	case "hash":
+		cfg.Search = tree.SearchHash
+	default:
+		return cfg, fmt.Errorf("unknown -search %q", search)
+	}
+	return cfg, nil
+}

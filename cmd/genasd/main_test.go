@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"genas/internal/core"
+	"genas/internal/tree"
+)
+
+func TestEngineConfig(t *testing.T) {
+	cfg, err := engineConfig("event", "A2", "binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ValueMeasure != core.ValueEvent || cfg.AttrOrdering != core.AttrA2 || cfg.Search != tree.SearchBinary {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	for _, c := range [][3]string{
+		{"natural", "natural", "linear"},
+		{"profile", "A1", "interpolation"},
+		{"event*profile", "A3", "hash"},
+	} {
+		if _, err := engineConfig(c[0], c[1], c[2]); err != nil {
+			t.Errorf("engineConfig(%v): %v", c, err)
+		}
+	}
+	if _, err := engineConfig("bogus", "A1", "linear"); err == nil {
+		t.Error("bad measure must fail")
+	}
+	if _, err := engineConfig("event", "A7", "linear"); err == nil {
+		t.Error("bad ordering must fail")
+	}
+	if _, err := engineConfig("event", "A1", "quantum"); err == nil {
+		t.Error("bad search must fail")
+	}
+}

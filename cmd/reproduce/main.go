@@ -1,0 +1,124 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation (§4.3) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	reproduce -fig all          # every figure
+//	reproduce -fig 4a           # one figure: 3 | 4a | 4b | 5a | 5b | 5c | 6a | 6b
+//	reproduce -fig tv           # scenario sweep TV1–TV4
+//	reproduce -seed 7           # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"genas/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 3|4a|4b|5a|5b|5c|6a|6b|dontcare|operators|search|tv|all")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		format = flag.String("format", "text", "output format: text | csv")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "reproduce: ", 0)
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	emit := func(t experiments.Table) {
+		if *format == "csv" {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t.Render())
+	}
+	table := func(f func(int64) (experiments.Table, error)) func() error {
+		return func() error {
+			t, err := f(*seed)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		}
+	}
+	jobs := []job{
+		{"3", func() error {
+			t, err := experiments.Fig3(nil)
+			if err != nil {
+				return err
+			}
+			emit(t)
+			return nil
+		}},
+		{"4a", table(experiments.Fig4a)},
+		{"4b", table(experiments.Fig4b)},
+		{"5a", table(experiments.Fig5a)},
+		{"5b", table(experiments.Fig5b)},
+		{"5c", table(experiments.Fig5c)},
+		{"6a", table(experiments.Fig6a)},
+		{"6b", table(experiments.Fig6b)},
+		{"dontcare", table(experiments.DontCareSweep)},
+		{"operators", table(experiments.OperatorSweep)},
+		{"search", table(experiments.SearchSweep)},
+		{"tv", func() error { return runScenarios(*seed) }},
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if *fig != "all" && *fig != j.name {
+			continue
+		}
+		ran = true
+		if err := j.run(); err != nil {
+			logger.Printf("figure %s: %v", j.name, err)
+			return 1
+		}
+	}
+	if !ran {
+		logger.Printf("unknown figure %q", *fig)
+		return 2
+	}
+	return 0
+}
+
+// runScenarios sweeps the four TV test scenarios on a representative
+// configuration (peaked events against uniform profiles) across the
+// orderings.
+func runScenarios(seed int64) error {
+	fmt.Println("Test scenarios TV1–TV4 (events: 95% low peak, profiles: equal)")
+	for _, vo := range []string{"natural", "event", "binary"} {
+		fmt.Printf("— value order: %s\n", vo)
+		r1, err := experiments.TV1(3, 10000, "95% low", "equal", vo, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r1.String())
+		r2, err := experiments.TV2(3, 10000, "95% low", "equal", vo, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r2.String())
+		r3, err := experiments.TV3(2000, "95% low", "equal", vo, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r3.String())
+		r4, err := experiments.TV4(2000, "95% low", "equal", vo, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  " + r4.String())
+	}
+	return nil
+}

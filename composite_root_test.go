@@ -1,0 +1,119 @@
+package genas
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonitorComposite(t *testing.T) {
+	sch := MustSchema(
+		Attr("temperature", MustNumericDomain(-30, 50)),
+		Attr("humidity", MustNumericDomain(0, 100)),
+	)
+	svc, err := NewService(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	heatThenHumid, err := Seq(Prim("heat"), Prim("humid"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := svc.MonitorComposite(
+		map[string]string{
+			"heat":  "profile(temperature >= 40)",
+			"humid": "profile(humidity >= 90)",
+		},
+		map[string]CompositeExpr{"storm-risk": heatThenHumid},
+		16,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Stop()
+
+	publish := func(temp, hum float64, at time.Time) {
+		ev, err := svc.ParseEvent("event(temperature=0; humidity=0)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.Vals[0], ev.Vals[1] = temp, hum
+		ev.Time = at
+		if _, err := svc.PublishEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	base := time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+	publish(45, 10, base)                     // heat
+	publish(20, 95, base.Add(10*time.Second)) // humid → completes the sequence
+	select {
+	case d := <-mon.C():
+		if d.Name != "storm-risk" {
+			t.Errorf("detection = %+v", d)
+		}
+		if !d.Start.Equal(base) || !d.End.Equal(base.Add(10*time.Second)) {
+			t.Errorf("span = %v..%v", d.Start, d.End)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no composite detection")
+	}
+
+	// Humid before heat must not fire (timestamps beyond the first heat's
+	// window, so no stale pairing either — the operators are
+	// non-consuming: every heat pairs with every humid inside the window).
+	publish(20, 95, base.Add(5*time.Minute))
+	publish(45, 10, base.Add(5*time.Minute+time.Second))
+	select {
+	case d := <-mon.C():
+		t.Fatalf("unexpected detection %+v", d)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Stop tears the primitive subscriptions down and closes the stream.
+	mon.Stop()
+	if _, open := readEventually(mon.C()); open {
+		t.Error("detection channel must close after Stop")
+	}
+	if st := svc.Stats(); st.Subscriptions != 0 {
+		t.Errorf("primitive subscriptions leaked: %d", st.Subscriptions)
+	}
+}
+
+func readEventually(c <-chan CompositeEvent) (CompositeEvent, bool) {
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case d, open := <-c:
+			if !open {
+				return CompositeEvent{}, false
+			}
+			_ = d
+		case <-deadline:
+			return CompositeEvent{}, true
+		}
+	}
+}
+
+func TestMonitorCompositeErrors(t *testing.T) {
+	sch := MustSchema(Attr("x", MustNumericDomain(0, 1)))
+	svc, err := NewService(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if _, err := svc.MonitorComposite(nil, nil, 0); err == nil {
+		t.Error("empty primitives must fail")
+	}
+	expr, _ := OrElse(Prim("a"), Prim("b"))
+	if _, err := svc.MonitorComposite(
+		map[string]string{"a": "profile(!!)"},
+		map[string]CompositeExpr{"e": expr}, 0); err == nil {
+		t.Error("bad primitive must fail")
+	}
+	// Failed monitor must not leak subscriptions.
+	if st := svc.Stats(); st.Subscriptions != 0 {
+		t.Errorf("leaked %d subscriptions", st.Subscriptions)
+	}
+}

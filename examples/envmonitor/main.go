@@ -1,0 +1,101 @@
+// Envmonitor: the paper's motivating scenario — environmental monitoring
+// with catastrophe-warning profiles. Sensor readings are roughly uniform,
+// but users care about a small extreme range of high importance. The
+// distribution-aware filter rejects harmless readings after a single
+// comparison once it has learned the event distribution (attribute
+// reordering by Measure A2 + value reordering by Measure V1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"genas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sch := genas.MustSchema(
+		genas.Attr("temperature", genas.MustNumericDomain(-30, 50)),
+		genas.Attr("humidity", genas.MustNumericDomain(0, 100)),
+		genas.Attr("radiation", genas.MustNumericDomain(1, 100)),
+	)
+	svc, err := genas.NewService(sch,
+		genas.WithAdaptivePolicy(500, 0.08, true), // learn P_e, reorder attributes too
+	)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	// Catastrophe warnings: tiny extreme regions of each domain.
+	warnings := map[string]string{
+		"heat-wave":       "profile(temperature >= 45)",
+		"deep-frost":      "profile(temperature <= -25)",
+		"flood-humidity":  "profile(humidity >= 98)",
+		"uv-alert":        "profile(radiation >= 90)",
+		"combined-stress": "profile(temperature >= 40; humidity >= 95)",
+	}
+	var subs []*genas.Subscription
+	for id, expr := range warnings {
+		sub, err := svc.Subscribe(id, expr)
+		if err != nil {
+			return err
+		}
+		subs = append(subs, sub)
+	}
+
+	// Simulated sensor field: benign readings with rare extremes.
+	rng := rand.New(rand.NewSource(42))
+	const readings = 20000
+	alarms := 0
+	for i := 0; i < readings; i++ {
+		temp := -10 + rng.Float64()*40 // mostly -10..30 °C
+		if rng.Float64() < 0.003 {
+			temp = 45 + rng.Float64()*5 // rare heat spike
+		}
+		m, err := svc.Publish(map[string]float64{
+			"temperature": temp,
+			"humidity":    rng.Float64() * 90,
+			"radiation":   1 + rng.Float64()*80,
+		})
+		if err != nil {
+			return err
+		}
+		alarms += m
+	}
+
+	// Drain outstanding notifications (each subscription has its own buffer).
+	delivered := 0
+	for _, sub := range subs {
+	drain:
+		for {
+			select {
+			case <-sub.C():
+				delivered++
+			default:
+				break drain
+			}
+		}
+	}
+
+	st := svc.Stats()
+	ops, err := svc.ExpectedOpsPerEvent()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sensor readings:        %d\n", readings)
+	fmt.Printf("alarm matches:          %d (delivered %d, dropped %d)\n", alarms, delivered, st.Dropped)
+	fmt.Printf("adaptive restructures:  %d\n", svc.Restructures())
+	fmt.Printf("measured mean ops/event: %.3f\n", st.MeanOps)
+	fmt.Printf("analytic  mean ops/event: %.3f (Eq. 2 under the learned distribution)\n", ops)
+	fmt.Println("benign readings are rejected after ~1 comparison: the zero-subdomain")
+	fmt.Println("attributes sit at the top of the tree and their gap regions rank first.")
+	return nil
+}

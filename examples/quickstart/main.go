@@ -1,0 +1,77 @@
+// Quickstart: define a schema, subscribe profiles in the profile language,
+// publish events, and receive notifications — the minimal GENAS workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The toy environmental monitoring system of the paper's Example 1:
+	// temperature in [−30,50] °C, humidity in [0,100] %, UV-A radiation in
+	// [1,100] mW/m².
+	sch := genas.MustSchema(
+		genas.Attr("temperature", genas.MustNumericDomain(-30, 50)),
+		genas.Attr("humidity", genas.MustNumericDomain(0, 100)),
+		genas.Attr("radiation", genas.MustNumericDomain(1, 100)),
+	)
+	svc, err := genas.NewService(sch)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	// The paper's five profiles P1–P5.
+	profiles := map[string]string{
+		"P1": "profile(temperature >= 35; humidity >= 90)",
+		"P2": "profile(temperature >= 30; humidity >= 90)",
+		"P3": "profile(temperature >= 30; humidity >= 90; radiation in [35,50])",
+		"P4": "profile(temperature in [-30,-20]; humidity <= 5; radiation in [40,100])",
+		"P5": "profile(temperature >= 30; humidity >= 80)",
+	}
+	subs := make(map[string]*genas.Subscription, len(profiles))
+	for id, expr := range profiles {
+		sub, err := svc.Subscribe(id, expr)
+		if err != nil {
+			return fmt.Errorf("subscribe %s: %w", id, err)
+		}
+		subs[id] = sub
+	}
+
+	// The event of the paper's Equation (1): it must match P2 and P5.
+	matched, err := svc.Publish(map[string]float64{
+		"temperature": 30, "humidity": 90, "radiation": 2,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("event(temperature=30; humidity=90; radiation=2) matched %d profiles\n", matched)
+	for id, sub := range subs {
+		select {
+		case n := <-sub.C():
+			fmt.Printf("  %s notified: %s\n", id, n.Event.Render(sch))
+		default:
+		}
+	}
+
+	// Quenching: tell a sensor it may stop reporting harmless cold values.
+	quenched, err := svc.Quenched("temperature", -19, 29)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("temperature range [-19,29] quenched: %v (no profile cares)\n", quenched)
+
+	st := svc.Stats()
+	fmt.Printf("broker: %d subscriptions, %d published, %d delivered, mean %.2f ops/event\n",
+		st.Subscriptions, st.Published, st.Delivered, st.MeanOps)
+	return nil
+}

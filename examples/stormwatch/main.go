@@ -1,0 +1,121 @@
+// Stormwatch: composite event detection (the paper's announced GENAS
+// extension, §5). Primitive profiles watch pressure drops, wind gusts and
+// humidity spikes; composite expressions combine them temporally:
+//
+//	storm-front    = pressure-drop ; wind-gust        (sequence within 10 min)
+//	muggy-turn     = humidity-spike & heat            (conjunction within 30 min)
+//	gust-cluster   = count(wind-gust, 3)              (3 gusts within 15 min)
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"genas"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sch := genas.MustSchema(
+		genas.Attr("pressure", genas.MustNumericDomain(950, 1050)), // hPa
+		genas.Attr("wind", genas.MustNumericDomain(0, 200)),        // km/h
+		genas.Attr("humidity", genas.MustNumericDomain(0, 100)),    // %
+		genas.Attr("temperature", genas.MustNumericDomain(-30, 50)),
+	)
+	svc, err := genas.NewService(sch)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	stormFront, err := genas.Seq(genas.Prim("pressure-drop"), genas.Prim("wind-gust"), 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	muggy, err := genas.AndWithin(genas.Prim("humidity-spike"), genas.Prim("heat"), 30*time.Minute)
+	if err != nil {
+		return err
+	}
+	gustCluster, err := genas.Count(genas.Prim("wind-gust"), 3, 15*time.Minute)
+	if err != nil {
+		return err
+	}
+
+	mon, err := svc.MonitorComposite(
+		map[string]string{
+			"pressure-drop":  "profile(pressure <= 980)",
+			"wind-gust":      "profile(wind >= 90)",
+			"humidity-spike": "profile(humidity >= 95)",
+			"heat":           "profile(temperature >= 32)",
+		},
+		map[string]genas.CompositeExpr{
+			"storm-front":  stormFront,
+			"muggy-turn":   muggy,
+			"gust-cluster": gustCluster,
+		},
+		128,
+	)
+	if err != nil {
+		return err
+	}
+	defer mon.Stop()
+
+	// Replay a synthetic day of weather-station readings at one-minute
+	// resolution, with a storm front scripted in the afternoon.
+	rng := rand.New(rand.NewSource(3))
+	start := time.Date(2026, 6, 10, 0, 0, 0, 0, time.UTC)
+	for minute := 0; minute < 24*60; minute++ {
+		at := start.Add(time.Duration(minute) * time.Minute)
+		pressure := 1010 + rng.Float64()*10
+		wind := 20 + rng.Float64()*30
+		humidity := 50 + rng.Float64()*30
+		temp := 18 + rng.Float64()*10
+
+		// Scripted storm front 14:00–14:30: pressure dives, then gusts.
+		if minute >= 14*60 && minute < 14*60+5 {
+			pressure = 975 - rng.Float64()*5
+		}
+		if minute >= 14*60+4 && minute < 14*60+30 && rng.Float64() < 0.4 {
+			wind = 95 + rng.Float64()*40
+		}
+		// A muggy evening: heat + humidity spike around 18:00.
+		if minute >= 18*60 && minute < 18*60+20 {
+			temp = 33 + rng.Float64()*3
+			humidity = 96 + rng.Float64()*4
+		}
+
+		ev := genas.Event{Vals: []float64{pressure, wind, humidity, temp}, Time: at}
+		if _, err := svc.PublishEvent(ev); err != nil {
+			return err
+		}
+	}
+
+	counts := map[string]int{}
+	first := map[string]time.Time{}
+	for {
+		select {
+		case d := <-mon.C():
+			if counts[d.Name] == 0 {
+				first[d.Name] = d.End
+			}
+			counts[d.Name]++
+		case <-time.After(200 * time.Millisecond):
+			fmt.Println("composite detections over the synthetic day:")
+			for _, name := range []string{"storm-front", "muggy-turn", "gust-cluster"} {
+				if counts[name] == 0 {
+					fmt.Printf("  %-12s none\n", name)
+					continue
+				}
+				fmt.Printf("  %-12s %4d (first at %s)\n", name, counts[name], first[name].Format("15:04"))
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package genas is a generic parameterized event notification service with
+// distribution-based event filtering.
+//
+// GENAS reproduces the system of Hinze & Bittner, "Efficient
+// Distribution-Based Event Filtering" (ICDCS Workshops 2002): a
+// content-based publish/subscribe service whose profile-tree filter is
+// restructured according to the observed event and profile distributions.
+// Attributes with high selectivity move to the top tree levels (Measures
+// A1–A3) and, inside every tree node, values are tested in order of
+// descending probability (Measures V1–V3), so frequent events finish early
+// and hopeless events are rejected as early as possible.
+//
+// # Quick start
+//
+//	sch := genas.MustSchema(
+//		genas.Attr("temperature", genas.MustNumericDomain(-30, 50)),
+//		genas.Attr("humidity", genas.MustNumericDomain(0, 100)),
+//	)
+//	svc, _ := genas.NewService(sch, genas.WithAdaptive())
+//	defer svc.Close()
+//
+//	sub, _ := svc.Subscribe("heat-alarm", "profile(temperature >= 35)")
+//	go func() {
+//		for n := range sub.C() {
+//			fmt.Println("notified:", n.Event.Render(sch))
+//		}
+//	}()
+//	svc.Publish(map[string]float64{"temperature": 41, "humidity": 80})
+//
+// The packages under internal/ implement the machinery: the profile tree
+// automaton, the selectivity measures and cost model, the distribution
+// catalog, the adaptive component, the broker, the Siena-style overlay and
+// the experiment harness regenerating every figure of the paper.
+package genas
+
+import (
+	"fmt"
+	"time"
+
+	"genas/internal/adaptive"
+	"genas/internal/broker"
+	"genas/internal/core"
+	"genas/internal/dist"
+	"genas/internal/event"
+	"genas/internal/predicate"
+	"genas/internal/routing"
+	"genas/internal/schema"
+	"genas/internal/tree"
+)
+
+// Re-exported types: the public names of the service's vocabulary.
+type (
+	// Schema is the ordered attribute set of a service instance.
+	Schema = schema.Schema
+	// Attribute is one named, typed attribute.
+	Attribute = schema.Attribute
+	// Domain is an attribute's value domain.
+	Domain = schema.Domain
+	// Interval is a possibly half-open value interval.
+	Interval = schema.Interval
+	// Profile is a conjunctive subscription.
+	Profile = predicate.Profile
+	// ProfileID identifies a profile.
+	ProfileID = predicate.ID
+	// Event is a primitive event.
+	Event = event.Event
+	// Notification is a delivered match.
+	Notification = broker.Notification
+	// Subscription is a live registration with its notification channel.
+	Subscription = broker.Subscription
+	// Stats is the broker counter snapshot.
+	Stats = broker.Stats
+	// Network is a distributed broker overlay.
+	Network = routing.Network
+)
+
+// Domain constructors re-exported from the schema package.
+var (
+	// NewNumericDomain returns the continuous interval domain [lo, hi].
+	NewNumericDomain = schema.NewNumericDomain
+	// NewIntegerDomain returns the integer grid domain {lo, …, hi}.
+	NewIntegerDomain = schema.NewIntegerDomain
+	// NewCategoricalDomain returns a label-coded domain.
+	NewCategoricalDomain = schema.NewCategoricalDomain
+	// NewSchema builds a schema from attributes.
+	NewSchema = schema.New
+	// MustSchema is NewSchema that panics on error.
+	MustSchema = schema.MustNew
+)
+
+// Attr is a convenience constructor for schema attributes.
+func Attr(name string, d Domain) Attribute { return Attribute{Name: name, Domain: d} }
+
+// MustNumericDomain is NewNumericDomain that panics on error, for static
+// schemas in examples and tests.
+func MustNumericDomain(lo, hi float64) Domain {
+	d, err := schema.NewNumericDomain(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustIntegerDomain is NewIntegerDomain that panics on error.
+func MustIntegerDomain(lo, hi int) Domain {
+	d, err := schema.NewIntegerDomain(lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Option configures a Service.
+type Option func(*options) error
+
+type options struct {
+	broker         broker.Options
+	eventDistNames map[string]string
+}
+
+// WithAdaptive enables the adaptive filter component with event-centric
+// optimization: the service maintains an event history and restructures the
+// profile tree when the observed distribution drifts.
+func WithAdaptive() Option {
+	return func(o *options) error {
+		o.broker.Adaptive = true
+		o.broker.Policy.Goal = adaptive.EventCentric
+		return nil
+	}
+}
+
+// WithUserCentricAdaptive enables adaptation optimizing for high-priority
+// profiles (Measure V3): "faster notifications for profiles with high
+// priority".
+func WithUserCentricAdaptive() Option {
+	return func(o *options) error {
+		o.broker.Adaptive = true
+		o.broker.Policy.Goal = adaptive.UserCentric
+		return nil
+	}
+}
+
+// WithAdaptivePolicy tunes the adaptation loop: window is the number of
+// events between drift checks, threshold the total-variation distance that
+// triggers a restructure.
+func WithAdaptivePolicy(window int, threshold float64, reorderAttributes bool) Option {
+	return func(o *options) error {
+		o.broker.Adaptive = true
+		o.broker.Policy.Window = window
+		o.broker.Policy.Threshold = threshold
+		o.broker.Policy.ReorderAttributes = reorderAttributes
+		return nil
+	}
+}
+
+// WithBinarySearch switches the within-node search to binary search (the
+// baseline of Aguilera et al. / Gough & Smith).
+func WithBinarySearch() Option {
+	return WithSearch("binary")
+}
+
+// WithSearch selects the within-node search strategy by name: "linear"
+// (ordered scan with the lookup-table early-termination rule), "binary",
+// "interpolation" or "hash" (the further strategies of the paper's outlook,
+// §5).
+func WithSearch(name string) Option {
+	return func(o *options) error {
+		switch name {
+		case "linear":
+			o.broker.Engine.Search = tree.SearchLinear
+		case "binary":
+			o.broker.Engine.Search = tree.SearchBinary
+		case "interpolation":
+			o.broker.Engine.Search = tree.SearchInterpolation
+		case "hash":
+			o.broker.Engine.Search = tree.SearchHash
+		default:
+			return fmt.Errorf("genas: unknown search strategy %q", name)
+		}
+		return nil
+	}
+}
+
+// WithValueMeasure selects the static value ordering: "natural", "event"
+// (V1), "profile" (V2) or "event*profile" (V3), each optionally suffixed
+// "-asc" for ascending order.
+func WithValueMeasure(name string) Option {
+	return func(o *options) error {
+		m, err := parseValueMeasure(name)
+		if err != nil {
+			return err
+		}
+		o.broker.Engine.ValueMeasure = m
+		return nil
+	}
+}
+
+// WithAttrOrdering selects the attribute ordering measure: "natural", "A1",
+// "A2" or "A3".
+func WithAttrOrdering(name string) Option {
+	return func(o *options) error {
+		switch name {
+		case "natural":
+			o.broker.Engine.AttrOrdering = core.AttrNatural
+		case "A1":
+			o.broker.Engine.AttrOrdering = core.AttrA1
+		case "A2":
+			o.broker.Engine.AttrOrdering = core.AttrA2
+		case "A3":
+			o.broker.Engine.AttrOrdering = core.AttrA3
+		default:
+			return fmt.Errorf("genas: unknown attribute ordering %q", name)
+		}
+		return nil
+	}
+}
+
+// WithSubscriptionBuffer sets the default notification buffer per
+// subscription.
+func WithSubscriptionBuffer(n int) Option {
+	return func(o *options) error {
+		if n <= 0 {
+			return broker.ErrBadBufferSize
+		}
+		o.broker.DefaultBuffer = n
+		return nil
+	}
+}
+
+// WithEventDistributions configures predefined per-attribute event
+// distributions by catalog name ("equal", "gauss", "relgauss-low",
+// "95% high", "d17", …). The paper's algorithm "can either work based on
+// predefined distributions for the observed events, or it has to maintain a
+// history of events" (§5); this option is the predefined mode, WithAdaptive
+// the history mode. The option must be applied after the schema is known,
+// so it is evaluated lazily inside NewService.
+func WithEventDistributions(byAttr map[string]string) Option {
+	return func(o *options) error {
+		o.eventDistNames = byAttr
+		return nil
+	}
+}
+
+func parseValueMeasure(name string) (core.ValueMeasure, error) {
+	switch name {
+	case "natural":
+		return core.ValueNatural, nil
+	case "natural-desc":
+		return core.ValueNaturalDesc, nil
+	case "event":
+		return core.ValueEvent, nil
+	case "event-asc":
+		return core.ValueEventAsc, nil
+	case "profile":
+		return core.ValueProfile, nil
+	case "profile-asc":
+		return core.ValueProfileAsc, nil
+	case "event*profile":
+		return core.ValueCombined, nil
+	case "event*profile-asc":
+		return core.ValueCombinedAsc, nil
+	default:
+		return 0, fmt.Errorf("genas: unknown value measure %q", name)
+	}
+}
+
+// Service is the public face of one GENAS broker instance.
+type Service struct {
+	sch *schema.Schema
+	brk *broker.Broker
+}
+
+// NewService creates a local event notification service over the schema.
+func NewService(sch *Schema, opts ...Option) (*Service, error) {
+	var o options
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.eventDistNames != nil {
+		ds := make([]dist.Dist, sch.N())
+		for i := 0; i < sch.N(); i++ {
+			name, ok := o.eventDistNames[sch.At(i).Name]
+			if !ok {
+				name = "equal"
+			}
+			sh, err := dist.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("genas: attribute %s: %w", sch.At(i).Name, err)
+			}
+			ds[i] = dist.New(sh, sch.At(i).Domain)
+		}
+		o.broker.Engine.EventDists = ds
+		if o.broker.Engine.ValueMeasure == 0 || o.broker.Engine.ValueMeasure == core.ValueNatural {
+			// Predefined distributions imply the distribution-aware
+			// ordering unless the caller chose a measure explicitly.
+			o.broker.Engine.ValueMeasure = core.ValueEvent
+		}
+		if o.broker.Engine.AttrOrdering == 0 || o.broker.Engine.AttrOrdering == core.AttrNatural {
+			o.broker.Engine.AttrOrdering = core.AttrA2
+		}
+	}
+	b, err := broker.New(sch, o.broker)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{sch: sch, brk: b}, nil
+}
+
+// Schema returns the service schema.
+func (s *Service) Schema() *Schema { return s.sch }
+
+// Subscribe parses a profile-language expression and registers it:
+//
+//	svc.Subscribe("alarm", "profile(temperature >= 35; humidity >= 90)")
+func (s *Service) Subscribe(id, profileExpr string) (*Subscription, error) {
+	p, err := predicate.Parse(s.sch, predicate.ID(id), profileExpr)
+	if err != nil {
+		return nil, err
+	}
+	return s.brk.Subscribe(p)
+}
+
+// SubscribeWithPriority is Subscribe with a user-centric priority weight.
+func (s *Service) SubscribeWithPriority(id, profileExpr string, priority float64) (*Subscription, error) {
+	p, err := predicate.Parse(s.sch, predicate.ID(id), profileExpr)
+	if err != nil {
+		return nil, err
+	}
+	p.Priority = priority
+	return s.brk.Subscribe(p)
+}
+
+// SubscribeProfile registers an already-built profile.
+func (s *Service) SubscribeProfile(p *Profile) (*Subscription, error) {
+	return s.brk.Subscribe(p)
+}
+
+// Unsubscribe removes a subscription.
+func (s *Service) Unsubscribe(id string) error {
+	return s.brk.Unsubscribe(predicate.ID(id))
+}
+
+// Publish posts an event given as attribute name → value and returns the
+// number of matched profiles.
+func (s *Service) Publish(values map[string]float64) (int, error) {
+	vals := make([]float64, s.sch.N())
+	seen := 0
+	for name, v := range values {
+		i, err := s.sch.Index(name)
+		if err != nil {
+			return 0, err
+		}
+		vals[i] = v
+		seen++
+	}
+	if seen != s.sch.N() {
+		return 0, fmt.Errorf("genas: event specifies %d of %d attributes", seen, s.sch.N())
+	}
+	ev, err := event.New(s.sch, vals...)
+	if err != nil {
+		return 0, err
+	}
+	return s.brk.Publish(ev)
+}
+
+// PublishEvent posts a prebuilt event.
+func (s *Service) PublishEvent(ev Event) (int, error) { return s.brk.Publish(ev) }
+
+// ParseEvent reads the paper's event notation ("event(temperature=30; …)").
+func (s *Service) ParseEvent(text string) (Event, error) { return event.Parse(s.sch, text) }
+
+// ParseProfile reads the profile language without subscribing.
+func (s *Service) ParseProfile(id, text string) (*Profile, error) {
+	return predicate.Parse(s.sch, predicate.ID(id), text)
+}
+
+// Quenched reports whether events with attribute attr inside [lo, hi] are
+// guaranteed to match nothing, so providers may suppress them at the source
+// (Elvin-style quenching).
+func (s *Service) Quenched(attr string, lo, hi float64) (bool, error) {
+	i, err := s.sch.Index(attr)
+	if err != nil {
+		return false, err
+	}
+	return s.brk.Quenched(i, schema.Closed(lo, hi)), nil
+}
+
+// Stats returns broker counters.
+func (s *Service) Stats() Stats { return s.brk.Stats() }
+
+// Restructures reports how many adaptive restructures have happened (0
+// without WithAdaptive).
+func (s *Service) Restructures() int {
+	if a := s.brk.Adaptor(); a != nil {
+		return a.Restructures()
+	}
+	return 0
+}
+
+// ExpectedOpsPerEvent evaluates the analytic cost model (Eq. 2 of the
+// paper) under the service's current event distribution estimate.
+func (s *Service) ExpectedOpsPerEvent() (float64, error) {
+	a, err := s.brk.Engine().Analyze()
+	if err != nil {
+		return 0, err
+	}
+	return a.TotalOps, nil
+}
+
+// Broker exposes the underlying broker for advanced integration (wire
+// server, experiments).
+func (s *Service) Broker() *broker.Broker { return s.brk }
+
+// Close shuts the service down; all subscription channels are closed.
+func (s *Service) Close() { s.brk.Close() }
+
+// --- Distributed overlay facade -------------------------------------------------
+
+// NewNetwork creates a distributed broker overlay over the schema. With
+// covering enabled, profiles covered by already-propagated profiles are not
+// re-propagated (Siena-style optimization).
+func NewNetwork(sch *Schema, covering bool) *Network {
+	return routing.NewNetwork(sch, routing.Options{Covering: covering})
+}
+
+// Now returns the current time; exposed so examples produce deterministic
+// output under `go test` by overriding it.
+var Now = time.Now
+
+// Group is a set of subscriptions sharing one ordered notification channel.
+type Group = broker.Group
+
+// SubscribeGroup registers several profiles (id → profile-language
+// expression) that deliver over a single ordered channel: notifications of
+// one published event arrive contiguously and in publish order.
+// Registration is atomic — on any failure no profile remains subscribed.
+func (s *Service) SubscribeGroup(buffer int, primitives map[string]string) (*Group, error) {
+	profiles := make([]*Profile, 0, len(primitives))
+	for id, expr := range primitives {
+		p, err := s.ParseProfile(id, expr)
+		if err != nil {
+			return nil, err
+		}
+		profiles = append(profiles, p)
+	}
+	return s.brk.SubscribeGroup(buffer, profiles...)
+}

@@ -1,0 +1,227 @@
+// Package adaptive implements the adaptive filter component of §1/§5: the
+// filter "can either work based on predefined distributions for the observed
+// events, or it has to maintain a history of events in order to determine
+// the event distribution". The Adaptor maintains per-attribute histograms of
+// the observed events, detects distribution drift against the distribution
+// the tree was last optimized for, and restructures the profile tree
+// (cheaply by value reordering, optionally fully by attribute reordering).
+//
+// Two optimization goals are supported, mirroring the paper's event-centric
+// and user-centric approaches: event-centric minimizes average operations
+// per event (Measure V1 value order), user-centric favors high-priority
+// profiles (Measure V3, which "supports user groups with similar interest").
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+
+	"genas/internal/core"
+	"genas/internal/dist"
+)
+
+// Goal selects the optimization target.
+type Goal int
+
+// Optimization goals.
+const (
+	// EventCentric minimizes average operations per event (V1 + A2).
+	EventCentric Goal = iota + 1
+	// UserCentric favors high-priority profiles (V3 + A2).
+	UserCentric
+)
+
+// String names the goal.
+func (g Goal) String() string {
+	switch g {
+	case EventCentric:
+		return "event-centric"
+	case UserCentric:
+		return "user-centric"
+	default:
+		return fmt.Sprintf("Goal(%d)", int(g))
+	}
+}
+
+// Policy tunes the adaptation loop.
+type Policy struct {
+	// Goal selects the measures applied on restructure (default
+	// EventCentric).
+	Goal Goal
+	// Window is the number of observed events between drift checks
+	// (default 1024).
+	Window int
+	// Threshold is the total-variation distance that triggers a
+	// restructure (default 0.1). The paper warns the event-based measure
+	// "is a fragile measure, not robust to changes in the distributions";
+	// the threshold provides the stability hysteresis.
+	Threshold float64
+	// Bins is the per-attribute histogram resolution (default 64).
+	Bins int
+	// ReorderAttributes additionally recomputes the attribute order
+	// (Measure A2) on restructure: a full rebuild instead of the cheap
+	// value reordering.
+	ReorderAttributes bool
+	// MinHistory is the minimum number of observed events before the first
+	// restructure (default Window).
+	MinHistory uint64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Goal == 0 {
+		p.Goal = EventCentric
+	}
+	if p.Window <= 0 {
+		p.Window = 1024
+	}
+	if p.Threshold <= 0 {
+		p.Threshold = 0.1
+	}
+	if p.Bins <= 0 {
+		p.Bins = 64
+	}
+	if p.MinHistory == 0 {
+		p.MinHistory = uint64(p.Window)
+	}
+	return p
+}
+
+// Adaptor couples a filter engine with event-history histograms.
+type Adaptor struct {
+	mu      sync.Mutex
+	engine  *core.Engine
+	policy  Policy
+	hists   []*dist.Histogram
+	applied []dist.Shape // shapes the engine currently runs with
+	seen    uint64
+	sinceCk int
+
+	restructures int
+	checks       int
+}
+
+// New creates an adaptor for the engine. The engine's configuration is
+// switched to the goal's measures on the first restructure.
+func New(engine *core.Engine, policy Policy) (*Adaptor, error) {
+	p := policy.withDefaults()
+	s := engine.Schema()
+	hists := make([]*dist.Histogram, s.N())
+	applied := make([]dist.Shape, s.N())
+	for i := 0; i < s.N(); i++ {
+		h, err := dist.NewHistogram(s.At(i).Domain, p.Bins)
+		if err != nil {
+			return nil, err
+		}
+		hists[i] = h
+		applied[i] = dist.UniformShape{} // prior before any history
+	}
+	return &Adaptor{engine: engine, policy: p, hists: hists, applied: applied}, nil
+}
+
+// Observe feeds one event into the history and runs the periodic drift
+// check. It returns true when a restructure was triggered.
+func (a *Adaptor) Observe(vals []float64) bool {
+	for i, h := range a.hists {
+		h.Observe(vals[i])
+	}
+	a.mu.Lock()
+	a.seen++
+	a.sinceCk++
+	due := a.sinceCk >= a.policy.Window && a.seen >= a.policy.MinHistory
+	if due {
+		a.sinceCk = 0
+	}
+	a.mu.Unlock()
+	if !due {
+		return false
+	}
+	return a.maybeAdapt(false)
+}
+
+// ForceAdapt restructures unconditionally with the current history.
+func (a *Adaptor) ForceAdapt() error {
+	if ok := a.maybeAdapt(true); !ok {
+		return fmt.Errorf("adaptive: forced restructure failed")
+	}
+	return nil
+}
+
+// maybeAdapt compares live histograms against the applied distributions and
+// restructures when drifted (or when forced).
+func (a *Adaptor) maybeAdapt(force bool) bool {
+	a.mu.Lock()
+	a.checks++
+	drift := 0.0
+	snaps := make([]dist.Shape, len(a.hists))
+	for i, h := range a.hists {
+		snaps[i] = h.Snapshot()
+		if d := dist.TotalVariation(snaps[i], a.applied[i], a.policy.Bins); d > drift {
+			drift = d
+		}
+	}
+	if !force && drift < a.policy.Threshold {
+		a.mu.Unlock()
+		return false
+	}
+	s := a.engine.Schema()
+	ds := make([]dist.Dist, len(snaps))
+	for i := range snaps {
+		ds[i] = dist.New(snaps[i], s.At(i).Domain)
+	}
+	a.applied = snaps
+	a.restructures++
+	goal := a.policy.Goal
+	rebuildAttrs := a.policy.ReorderAttributes
+	a.mu.Unlock()
+
+	cfg := a.engine.Config()
+	switch goal {
+	case UserCentric:
+		cfg.ValueMeasure = core.ValueCombined
+	default:
+		cfg.ValueMeasure = core.ValueEvent
+	}
+	if rebuildAttrs {
+		cfg.AttrOrdering = core.AttrA2
+	}
+	cfg.EventDists = ds
+	a.engine.SetConfig(cfg)
+	var err error
+	if rebuildAttrs {
+		err = a.engine.Rebuild()
+	} else {
+		err = a.engine.Reorder()
+	}
+	return err == nil
+}
+
+// Restructures returns how many restructures have been applied.
+func (a *Adaptor) Restructures() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.restructures
+}
+
+// Checks returns how many drift checks have run.
+func (a *Adaptor) Checks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checks
+}
+
+// Seen returns the number of observed events.
+func (a *Adaptor) Seen() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seen
+}
+
+// History returns the live per-attribute empirical distributions.
+func (a *Adaptor) History() []dist.Dist {
+	s := a.engine.Schema()
+	out := make([]dist.Dist, len(a.hists))
+	for i, h := range a.hists {
+		out[i] = dist.New(h.Snapshot(), s.At(i).Domain)
+	}
+	return out
+}

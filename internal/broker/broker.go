@@ -1,0 +1,400 @@
+// Package broker implements a local event notification service: subscription
+// management, the publish/filter path, per-subscriber delivery and an
+// Elvin-style quenching interface ("a quenching mechanism that discards
+// unneeded information without consuming resources", paper §2).
+//
+// The broker composes the distribution-based filter engine of internal/core
+// with the adaptive component of internal/adaptive: every published event
+// feeds the event history, and the filter tree restructures itself when the
+// observed distribution drifts.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genas/internal/adaptive"
+	"genas/internal/core"
+	"genas/internal/event"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/stats"
+)
+
+// Errors returned by the broker.
+var (
+	ErrClosed        = errors.New("broker: closed")
+	ErrUnknownSub    = errors.New("broker: unknown subscription")
+	ErrDuplicateSub  = errors.New("broker: duplicate subscription id")
+	ErrNilProfile    = errors.New("broker: nil profile")
+	ErrBadBufferSize = errors.New("broker: buffer size must be positive")
+)
+
+// Notification is delivered to a subscriber whose profile matched an event.
+type Notification struct {
+	// Event is the matched event (sequence number assigned by the broker).
+	Event event.Event
+	// Profile identifies the subscription whose profile matched.
+	Profile predicate.ID
+	// Delivered is the broker-side delivery timestamp.
+	Delivered time.Time
+}
+
+// sharedChan is a delivery channel possibly shared by several subscriptions
+// (group delivery). The channel closes when the last member unsubscribes.
+type sharedChan struct {
+	ch     chan Notification
+	refs   atomic.Int32
+	closed atomic.Bool
+}
+
+// release drops one member reference and closes the channel when none
+// remain.
+func (sc *sharedChan) release() {
+	if sc.refs.Add(-1) == 0 && sc.closed.CompareAndSwap(false, true) {
+		close(sc.ch)
+	}
+}
+
+// Subscription is one subscriber registration. Notifications arrive on C();
+// when the subscriber lags behind the buffer the broker drops and counts
+// instead of blocking the publish path.
+type Subscription struct {
+	id      predicate.ID
+	profile *predicate.Profile
+	shared  *sharedChan
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// ID returns the subscription id.
+func (s *Subscription) ID() predicate.ID { return s.id }
+
+// Profile returns the subscription's profile.
+func (s *Subscription) Profile() *predicate.Profile { return s.profile }
+
+// C returns the notification channel. It is closed on Unsubscribe and on
+// broker shutdown (for group members: when the whole group is gone).
+func (s *Subscription) C() <-chan Notification { return s.shared.ch }
+
+// Dropped returns how many notifications were discarded because the
+// subscriber was slow.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Options configure a Broker.
+type Options struct {
+	// Engine configuration (measures, search strategy, distributions).
+	Engine core.Config
+	// Adaptive enables the adaptive filter component.
+	Adaptive bool
+	// Policy tunes adaptation (ignored unless Adaptive).
+	Policy adaptive.Policy
+	// DefaultBuffer is the per-subscription channel buffer (default 64).
+	DefaultBuffer int
+}
+
+// Broker is the local ENS instance. It is safe for concurrent use.
+type Broker struct {
+	schema *schema.Schema
+	engine *core.Engine
+	adapt  *adaptive.Adaptor
+
+	mu     sync.RWMutex
+	subs   map[predicate.ID]*Subscription
+	closed bool
+
+	seq       atomic.Uint64
+	published atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+
+	// counters realize the paper's statistic objects (§4.2): per-profile
+	// delivery and drop tallies keyed "delivered:<id>" / "dropped:<id>".
+	counters *stats.Counters
+
+	defaultBuffer int
+}
+
+// New creates a broker over schema s.
+func New(s *schema.Schema, opts Options) (*Broker, error) {
+	if opts.DefaultBuffer == 0 {
+		opts.DefaultBuffer = 64
+	}
+	if opts.DefaultBuffer < 0 {
+		return nil, ErrBadBufferSize
+	}
+	b := &Broker{
+		schema:        s,
+		engine:        core.NewEngine(s, opts.Engine),
+		subs:          make(map[predicate.ID]*Subscription),
+		counters:      stats.NewCounters(),
+		defaultBuffer: opts.DefaultBuffer,
+	}
+	if opts.Adaptive {
+		a, err := adaptive.New(b.engine, opts.Policy)
+		if err != nil {
+			return nil, err
+		}
+		b.adapt = a
+	}
+	return b, nil
+}
+
+// Schema returns the broker's schema.
+func (b *Broker) Schema() *schema.Schema { return b.schema }
+
+// Engine exposes the underlying filter engine (experiments and diagnostics).
+func (b *Broker) Engine() *core.Engine { return b.engine }
+
+// Adaptor returns the adaptive component (nil when disabled).
+func (b *Broker) Adaptor() *adaptive.Adaptor { return b.adapt }
+
+// Subscribe registers a profile and returns its subscription. The profile ID
+// must be unique within the broker.
+func (b *Broker) Subscribe(p *predicate.Profile) (*Subscription, error) {
+	return b.SubscribeBuffered(p, b.defaultBuffer)
+}
+
+// SubscribeBuffered is Subscribe with an explicit channel buffer size.
+func (b *Broker) SubscribeBuffered(p *predicate.Profile, buffer int) (*Subscription, error) {
+	if p == nil {
+		return nil, ErrNilProfile
+	}
+	if buffer <= 0 {
+		return nil, ErrBadBufferSize
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := b.subs[p.ID]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateSub, p.ID)
+	}
+	if err := b.engine.AddProfile(p); err != nil {
+		return nil, err
+	}
+	sc := &sharedChan{ch: make(chan Notification, buffer)}
+	sc.refs.Store(1)
+	sub := &Subscription{id: p.ID, profile: p, shared: sc}
+	b.subs[p.ID] = sub
+	return sub, nil
+}
+
+// Group is a set of subscriptions delivering over one ordered channel: all
+// notifications triggered by one published event arrive contiguously and in
+// publish order, which composite event detection depends on.
+type Group struct {
+	b      *Broker
+	shared *sharedChan
+	ids    []predicate.ID
+	once   sync.Once
+}
+
+// C returns the group's merged notification channel.
+func (g *Group) C() <-chan Notification { return g.shared.ch }
+
+// IDs returns the member profile ids.
+func (g *Group) IDs() []predicate.ID { return append([]predicate.ID(nil), g.ids...) }
+
+// Close unsubscribes every member; the channel closes when the last member
+// is gone.
+func (g *Group) Close() {
+	g.once.Do(func() {
+		for _, id := range g.ids {
+			_ = g.b.Unsubscribe(id)
+		}
+	})
+}
+
+// SubscribeGroup registers several profiles that share one notification
+// channel. Registration is atomic: on any failure no profile remains
+// subscribed.
+func (b *Broker) SubscribeGroup(buffer int, profiles ...*predicate.Profile) (*Group, error) {
+	if buffer <= 0 {
+		return nil, ErrBadBufferSize
+	}
+	if len(profiles) == 0 {
+		return nil, ErrNilProfile
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	for _, p := range profiles {
+		if p == nil {
+			return nil, ErrNilProfile
+		}
+		if _, dup := b.subs[p.ID]; dup {
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateSub, p.ID)
+		}
+	}
+	sc := &sharedChan{ch: make(chan Notification, buffer)}
+	g := &Group{b: b, shared: sc}
+	added := make([]predicate.ID, 0, len(profiles))
+	for _, p := range profiles {
+		if err := b.engine.AddProfile(p); err != nil {
+			for _, id := range added {
+				sub := b.subs[id]
+				delete(b.subs, id)
+				_ = b.engine.RemoveProfile(id)
+				sub.closed.Store(true)
+			}
+			return nil, err
+		}
+		sc.refs.Add(1)
+		b.subs[p.ID] = &Subscription{id: p.ID, profile: p, shared: sc}
+		added = append(added, p.ID)
+	}
+	g.ids = added
+	return g, nil
+}
+
+// Unsubscribe removes a subscription and closes its channel.
+func (b *Broker) Unsubscribe(id predicate.ID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub, ok := b.subs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSub, id)
+	}
+	delete(b.subs, id)
+	if err := b.engine.RemoveProfile(id); err != nil {
+		return err
+	}
+	sub.closed.Store(true)
+	sub.shared.release()
+	return nil
+}
+
+// Publish filters the event and delivers notifications to every matched
+// subscriber. It returns the number of matched profiles. Slow subscribers
+// never block: over-full buffers drop (counted per subscription and
+// broker-wide).
+func (b *Broker) Publish(ev event.Event) (int, error) {
+	if len(ev.Vals) != b.schema.N() {
+		return 0, fmt.Errorf("%w: got %d values for %d attributes",
+			event.ErrArity, len(ev.Vals), b.schema.N())
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrClosed
+	}
+	b.mu.RUnlock()
+
+	ev.Seq = b.seq.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	b.published.Add(1)
+
+	if b.adapt != nil {
+		b.adapt.Observe(ev.Vals)
+	}
+
+	ids, _, err := b.engine.Match(ev.Vals)
+	if err != nil {
+		return 0, err
+	}
+	now := time.Now()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	delivered := 0
+	for _, id := range ids {
+		sub, ok := b.subs[id]
+		if !ok || sub.closed.Load() {
+			continue
+		}
+		n := Notification{Event: ev, Profile: id, Delivered: now}
+		select {
+		case sub.shared.ch <- n:
+			delivered++
+			b.delivered.Add(1)
+			b.counters.Inc("delivered:" + string(id))
+		default:
+			sub.dropped.Add(1)
+			b.dropped.Add(1)
+			b.counters.Inc("dropped:" + string(id))
+		}
+	}
+	return len(ids), nil
+}
+
+// Quenched reports whether events whose attribute attr falls inside iv are
+// guaranteed to match no profile, so a provider may suppress them at the
+// source (Elvin-style quenching). It is conservative: false means "someone
+// might care".
+func (b *Broker) Quenched(attr int, iv schema.Interval) bool {
+	if attr < 0 || attr >= b.schema.N() {
+		return false
+	}
+	dom := b.schema.At(attr).Domain
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, sub := range b.subs {
+		p := sub.profile
+		if !p.Constrains(attr) {
+			return false // a don't-care profile accepts any value here
+		}
+		for _, piv := range p.Pred(attr).Intervals(dom) {
+			if piv.Overlaps(iv) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stats is a broker-level counter snapshot.
+type Stats struct {
+	Subscriptions int
+	Published     uint64
+	Delivered     uint64
+	Dropped       uint64
+	// Filter carries the engine's operation accounting.
+	FilterEvents uint64
+	FilterOps    uint64
+	MeanOps      float64
+}
+
+// Stats returns the current counters.
+func (b *Broker) Stats() Stats {
+	b.mu.RLock()
+	n := len(b.subs)
+	b.mu.RUnlock()
+	acc := b.engine.Account()
+	return Stats{
+		Subscriptions: n,
+		Published:     b.published.Load(),
+		Delivered:     b.delivered.Load(),
+		Dropped:       b.dropped.Load(),
+		FilterEvents:  acc.Events,
+		FilterOps:     acc.Ops,
+		MeanOps:       acc.MeanOps,
+	}
+}
+
+// Counters returns a snapshot of the per-profile delivery/drop counters
+// (the paper's statistic objects, §4.2).
+func (b *Broker) Counters() []stats.Entry { return b.counters.Snapshot() }
+
+// Close shuts the broker down: all subscription channels are closed and
+// further operations fail with ErrClosed.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, sub := range b.subs {
+		sub.closed.Store(true)
+		sub.shared.release()
+		delete(b.subs, id)
+	}
+}

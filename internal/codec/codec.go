@@ -1,0 +1,146 @@
+// Package codec serializes schemas and profile corpora as versioned JSON:
+// the interchange format for exporting a broker's subscription set, warm-
+// starting a filter engine, and archiving experiment workloads.
+package codec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+)
+
+// Version is the current envelope version.
+const Version = 1
+
+// Errors returned by decoding.
+var (
+	ErrVersion = errors.New("codec: unsupported envelope version")
+	ErrCorrupt = errors.New("codec: corrupt document")
+)
+
+// Envelope is the on-disk document.
+type Envelope struct {
+	Version  int             `json:"version"`
+	Schema   []AttrDoc       `json:"schema"`
+	Profiles []ProfileDoc    `json:"profiles"`
+	Extra    json.RawMessage `json:"extra,omitempty"`
+}
+
+// AttrDoc serializes one schema attribute.
+type AttrDoc struct {
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"` // numeric | integer | categorical
+	Lo     float64  `json:"lo,omitempty"`
+	Hi     float64  `json:"hi,omitempty"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// ProfileDoc serializes one profile as its profile-language expression; the
+// textual form is the canonical interchange representation (it survives
+// schema-compatible refactors of the internal predicate model).
+type ProfileDoc struct {
+	ID       string  `json:"id"`
+	Expr     string  `json:"expr"`
+	Priority float64 `json:"priority,omitempty"`
+}
+
+// EncodeSchema converts a schema into its document form.
+func EncodeSchema(s *schema.Schema) []AttrDoc {
+	out := make([]AttrDoc, s.N())
+	for i := 0; i < s.N(); i++ {
+		a := s.At(i)
+		doc := AttrDoc{Name: a.Name, Kind: a.Domain.Kind().String()}
+		switch a.Domain.Kind() {
+		case schema.KindCategorical:
+			doc.Labels = a.Domain.Labels()
+		default:
+			doc.Lo, doc.Hi = a.Domain.Lo(), a.Domain.Hi()
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+// DecodeSchema rebuilds a schema from its document form.
+func DecodeSchema(docs []AttrDoc) (*schema.Schema, error) {
+	attrs := make([]schema.Attribute, 0, len(docs))
+	for _, d := range docs {
+		var dom schema.Domain
+		var err error
+		switch d.Kind {
+		case "numeric":
+			dom, err = schema.NewNumericDomain(d.Lo, d.Hi)
+		case "integer":
+			dom, err = schema.NewIntegerDomain(int(d.Lo), int(d.Hi))
+		case "categorical":
+			dom, err = schema.NewCategoricalDomain(d.Labels...)
+		default:
+			err = fmt.Errorf("%w: unknown domain kind %q", ErrCorrupt, d.Kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", d.Name, err)
+		}
+		attrs = append(attrs, schema.Attribute{Name: d.Name, Domain: dom})
+	}
+	return schema.New(attrs...)
+}
+
+// EncodeProfiles converts a corpus into document form.
+func EncodeProfiles(s *schema.Schema, profiles []*predicate.Profile) []ProfileDoc {
+	out := make([]ProfileDoc, len(profiles))
+	for i, p := range profiles {
+		out[i] = ProfileDoc{ID: string(p.ID), Expr: p.Render(s), Priority: p.Priority}
+	}
+	return out
+}
+
+// DecodeProfiles parses a document corpus against the schema.
+func DecodeProfiles(s *schema.Schema, docs []ProfileDoc) ([]*predicate.Profile, error) {
+	out := make([]*predicate.Profile, 0, len(docs))
+	for _, d := range docs {
+		p, err := predicate.Parse(s, predicate.ID(d.ID), d.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("profile %q: %w", d.ID, err)
+		}
+		p.Priority = d.Priority
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Write emits the whole envelope as indented JSON.
+func Write(w io.Writer, s *schema.Schema, profiles []*predicate.Profile) error {
+	env := Envelope{
+		Version:  Version,
+		Schema:   EncodeSchema(s),
+		Profiles: EncodeProfiles(s, profiles),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false) // keep profile operators like >= readable
+	return enc.Encode(env)
+}
+
+// Read parses an envelope, returning the schema and the corpus.
+func Read(r io.Reader) (*schema.Schema, []*predicate.Profile, error) {
+	var env Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if env.Version != Version {
+		return nil, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, env.Version, Version)
+	}
+	s, err := DecodeSchema(env.Schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	profiles, err := DecodeProfiles(s, env.Profiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, profiles, nil
+}

@@ -1,0 +1,102 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	num, _ := schema.NewNumericDomain(-30, 50)
+	grid, _ := schema.NewIntegerDomain(0, 12)
+	cat, _ := schema.NewCategoricalDomain("ok", "warn", "alarm")
+	return schema.MustNew(
+		schema.Attribute{Name: "temperature", Domain: num},
+		schema.Attribute{Name: "floor", Domain: grid},
+		schema.Attribute{Name: "state", Domain: cat},
+	)
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	profiles := []*predicate.Profile{
+		predicate.MustParse(s, "p1", "profile(temperature >= 35; state = alarm)"),
+		predicate.MustParse(s, "p2", "profile(temperature in [-30,-20]; floor = 3)"),
+		predicate.MustParse(s, "p3", "profile(state in {warn, alarm})"),
+	}
+	profiles[0].Priority = 7
+
+	var buf bytes.Buffer
+	if err := Write(&buf, s, profiles); err != nil {
+		t.Fatal(err)
+	}
+	s2, back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N() != s.N() {
+		t.Fatalf("schema arity changed: %d vs %d", s2.N(), s.N())
+	}
+	for i := 0; i < s.N(); i++ {
+		if s2.At(i).Name != s.At(i).Name || s2.At(i).Domain.Kind() != s.At(i).Domain.Kind() {
+			t.Errorf("attribute %d changed: %+v vs %+v", i, s2.At(i), s.At(i))
+		}
+		if s2.At(i).Domain.Size() != s.At(i).Domain.Size() {
+			t.Errorf("attribute %d size changed", i)
+		}
+	}
+	if len(back) != len(profiles) {
+		t.Fatalf("profile count %d vs %d", len(back), len(profiles))
+	}
+	if back[0].Priority != 7 {
+		t.Errorf("priority lost: %g", back[0].Priority)
+	}
+
+	// Semantics must survive the round trip.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		vals := []float64{
+			-30 + rng.Float64()*80,
+			float64(rng.Intn(13)),
+			float64(rng.Intn(3)),
+		}
+		for i := range profiles {
+			if profiles[i].Matches(vals) != back[i].Matches(vals) {
+				t.Fatalf("profile %s changed semantics at %v", profiles[i].ID, vals)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("{")); !errors.Is(err, ErrCorrupt) {
+		t.Error("truncated JSON must be corrupt")
+	}
+	if _, _, err := Read(strings.NewReader(`{"version": 99}`)); !errors.Is(err, ErrVersion) {
+		t.Error("future version must be rejected")
+	}
+	bad := `{"version":1,"schema":[{"name":"x","kind":"fancy"}]}`
+	if _, _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("unknown domain kind must fail")
+	}
+	bad = `{"version":1,"schema":[{"name":"x","kind":"numeric","lo":0,"hi":1}],
+	        "profiles":[{"id":"p","expr":"profile(nosuch = 1)"}]}`
+	if _, _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Error("profile against missing attribute must fail")
+	}
+}
+
+func TestDecodeSchemaErrors(t *testing.T) {
+	if _, err := DecodeSchema([]AttrDoc{{Name: "x", Kind: "numeric", Lo: 5, Hi: 5}}); err == nil {
+		t.Error("degenerate domain must fail")
+	}
+	if _, err := DecodeSchema(nil); err == nil {
+		t.Error("empty schema must fail")
+	}
+}

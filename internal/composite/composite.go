@@ -1,0 +1,354 @@
+// Package composite implements composite event detection over the stream of
+// primitive-profile notifications — the extension the paper announces for
+// GENAS ("We will extend the filter to handle composite events", §5).
+// Profiles "may consist of queries regarding primitive events, their time
+// and order of occurrence, and of composite events, which are formed by
+// temporal combinations of events" (§1).
+//
+// Supported operators: sequence (A then B within a window), conjunction
+// (A and B in any order within a window), disjunction (A or B), and counting
+// (N occurrences of A within a window). Operators nest arbitrarily.
+package composite
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"genas/internal/predicate"
+)
+
+// Errors returned by expression construction.
+var (
+	ErrBadExpr   = errors.New("composite: invalid expression")
+	ErrBadWindow = errors.New("composite: window must be positive")
+)
+
+// maxPartials bounds per-operator completion buffers so that a pathological
+// stream cannot grow memory without limit; the oldest partials are evicted
+// first (they would expire soonest anyway).
+const maxPartials = 1024
+
+// Completion is one (sub)expression match: the time span it covers.
+type Completion struct {
+	Start, End time.Time
+}
+
+// Expr is a composite event expression.
+type Expr interface {
+	// compile builds the stateful evaluator node.
+	compile() node
+	// String renders the expression.
+	String() string
+}
+
+// node is the stateful evaluator of one expression.
+type node interface {
+	// feed consumes one primitive occurrence and returns the completions of
+	// this subtree triggered by it.
+	feed(id predicate.ID, t time.Time) []Completion
+}
+
+// --- Primitive ------------------------------------------------------------------
+
+type primitive struct{ id predicate.ID }
+
+// Prim matches every notification of the given profile.
+func Prim(id predicate.ID) Expr { return primitive{id: id} }
+
+func (p primitive) compile() node  { return &primNode{id: p.id} }
+func (p primitive) String() string { return string(p.id) }
+
+type primNode struct{ id predicate.ID }
+
+func (n *primNode) feed(id predicate.ID, t time.Time) []Completion {
+	if id != n.id {
+		return nil
+	}
+	return []Completion{{Start: t, End: t}}
+}
+
+// --- Sequence -------------------------------------------------------------------
+
+type seqExpr struct {
+	l, r Expr
+	w    time.Duration
+}
+
+// Seq matches l followed by r, with r ending within window of l's end.
+func Seq(l, r Expr, window time.Duration) (Expr, error) {
+	if l == nil || r == nil {
+		return nil, ErrBadExpr
+	}
+	if window <= 0 {
+		return nil, ErrBadWindow
+	}
+	return seqExpr{l: l, r: r, w: window}, nil
+}
+
+func (e seqExpr) compile() node {
+	return &seqNode{l: e.l.compile(), r: e.r.compile(), w: e.w}
+}
+
+func (e seqExpr) String() string {
+	return fmt.Sprintf("(%s ; %s)[%s]", e.l, e.r, e.w)
+}
+
+type seqNode struct {
+	l, r node
+	w    time.Duration
+	// pending holds left completions awaiting a right completion.
+	pending []Completion
+}
+
+func (n *seqNode) feed(id predicate.ID, t time.Time) []Completion {
+	// Feed both children first: the same primitive may advance both sides.
+	left := n.l.feed(id, t)
+	right := n.r.feed(id, t)
+
+	var out []Completion
+	for _, r := range right {
+		for _, l := range n.pending {
+			if l.End.Before(r.Start) && r.End.Sub(l.End) <= n.w {
+				out = append(out, Completion{Start: l.Start, End: r.End})
+			}
+		}
+	}
+	// Register new left completions after matching: sequence is strict
+	// (left must precede right), so a simultaneous left never pairs with
+	// the right completion of the same primitive.
+	n.pending = append(n.pending, left...)
+	n.prune(t)
+	return out
+}
+
+func (n *seqNode) prune(now time.Time) {
+	kept := n.pending[:0]
+	for _, c := range n.pending {
+		if now.Sub(c.End) <= n.w {
+			kept = append(kept, c)
+		}
+	}
+	n.pending = kept
+	if len(n.pending) > maxPartials {
+		n.pending = append(n.pending[:0], n.pending[len(n.pending)-maxPartials:]...)
+	}
+}
+
+// --- Conjunction ----------------------------------------------------------------
+
+type andExpr struct {
+	l, r Expr
+	w    time.Duration
+}
+
+// And matches l and r in any order, both ending within window of each other.
+func And(l, r Expr, window time.Duration) (Expr, error) {
+	if l == nil || r == nil {
+		return nil, ErrBadExpr
+	}
+	if window <= 0 {
+		return nil, ErrBadWindow
+	}
+	return andExpr{l: l, r: r, w: window}, nil
+}
+
+func (e andExpr) compile() node {
+	return &andNode{l: e.l.compile(), r: e.r.compile(), w: e.w}
+}
+
+func (e andExpr) String() string {
+	return fmt.Sprintf("(%s & %s)[%s]", e.l, e.r, e.w)
+}
+
+type andNode struct {
+	l, r node
+	w    time.Duration
+	lBuf []Completion
+	rBuf []Completion
+}
+
+func (n *andNode) feed(id predicate.ID, t time.Time) []Completion {
+	// Expire stale halves before pairing: a buffered completion older than
+	// the window cannot legally join anything arriving now.
+	n.lBuf = pruneBuf(n.lBuf, t, n.w)
+	n.rBuf = pruneBuf(n.rBuf, t, n.w)
+	left := n.l.feed(id, t)
+	right := n.r.feed(id, t)
+
+	var out []Completion
+	for _, l := range left {
+		for _, r := range n.rBuf {
+			out = append(out, span(l, r))
+		}
+	}
+	for _, r := range right {
+		for _, l := range n.lBuf {
+			out = append(out, span(l, r))
+		}
+	}
+	// Simultaneous completions of both sides also pair with each other.
+	for _, l := range left {
+		for _, r := range right {
+			out = append(out, span(l, r))
+		}
+	}
+	n.lBuf = append(n.lBuf, left...)
+	n.rBuf = append(n.rBuf, right...)
+	n.lBuf = pruneBuf(n.lBuf, t, n.w)
+	n.rBuf = pruneBuf(n.rBuf, t, n.w)
+	return out
+}
+
+func span(a, b Completion) Completion {
+	s, e := a.Start, a.End
+	if b.Start.Before(s) {
+		s = b.Start
+	}
+	if b.End.After(e) {
+		e = b.End
+	}
+	return Completion{Start: s, End: e}
+}
+
+func pruneBuf(buf []Completion, now time.Time, w time.Duration) []Completion {
+	kept := buf[:0]
+	for _, c := range buf {
+		if now.Sub(c.End) <= w {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) > maxPartials {
+		kept = append(kept[:0], kept[len(kept)-maxPartials:]...)
+	}
+	return kept
+}
+
+// --- Disjunction ----------------------------------------------------------------
+
+type orExpr struct{ l, r Expr }
+
+// Or matches either operand.
+func Or(l, r Expr) (Expr, error) {
+	if l == nil || r == nil {
+		return nil, ErrBadExpr
+	}
+	return orExpr{l: l, r: r}, nil
+}
+
+func (e orExpr) compile() node  { return &orNode{l: e.l.compile(), r: e.r.compile()} }
+func (e orExpr) String() string { return fmt.Sprintf("(%s | %s)", e.l, e.r) }
+
+type orNode struct{ l, r node }
+
+func (n *orNode) feed(id predicate.ID, t time.Time) []Completion {
+	out := n.l.feed(id, t)
+	return append(out, n.r.feed(id, t)...)
+}
+
+// --- Counting -------------------------------------------------------------------
+
+type countExpr struct {
+	e Expr
+	n int
+	w time.Duration
+}
+
+// Count matches n completions of e within a sliding window.
+func Count(e Expr, n int, window time.Duration) (Expr, error) {
+	if e == nil || n < 2 {
+		return nil, fmt.Errorf("%w: count needs n ≥ 2", ErrBadExpr)
+	}
+	if window <= 0 {
+		return nil, ErrBadWindow
+	}
+	return countExpr{e: e, n: n, w: window}, nil
+}
+
+func (e countExpr) compile() node {
+	return &countNode{inner: e.e.compile(), n: e.n, w: e.w}
+}
+
+func (e countExpr) String() string {
+	return fmt.Sprintf("count(%s, %d)[%s]", e.e, e.n, e.w)
+}
+
+type countNode struct {
+	inner node
+	n     int
+	w     time.Duration
+	buf   []Completion
+}
+
+func (n *countNode) feed(id predicate.ID, t time.Time) []Completion {
+	inner := n.inner.feed(id, t)
+	var out []Completion
+	for _, c := range inner {
+		n.buf = append(n.buf, c)
+		n.buf = pruneBuf(n.buf, c.End, n.w)
+		if len(n.buf) >= n.n {
+			window := n.buf[len(n.buf)-n.n:]
+			out = append(out, Completion{Start: window[0].Start, End: c.End})
+		}
+	}
+	return out
+}
+
+// --- Detector -------------------------------------------------------------------
+
+// Detection is one fired composite event.
+type Detection struct {
+	Name       string
+	Start, End time.Time
+}
+
+// Detector evaluates a set of named composite expressions over a single
+// notification stream. It is not safe for concurrent use; feed it from one
+// goroutine (e.g. the consumer of a subscription channel).
+type Detector struct {
+	names []string
+	roots []node
+}
+
+// NewDetector compiles the named expressions.
+func NewDetector(exprs map[string]Expr) (*Detector, error) {
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("%w: no expressions", ErrBadExpr)
+	}
+	d := &Detector{}
+	// Deterministic evaluation order.
+	for _, name := range sortedKeys(exprs) {
+		e := exprs[name]
+		if e == nil {
+			return nil, fmt.Errorf("%w: nil expression %q", ErrBadExpr, name)
+		}
+		d.names = append(d.names, name)
+		d.roots = append(d.roots, e.compile())
+	}
+	return d, nil
+}
+
+func sortedKeys(m map[string]Expr) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Feed consumes one primitive notification and returns the composite events
+// it completed.
+func (d *Detector) Feed(id predicate.ID, t time.Time) []Detection {
+	var out []Detection
+	for i, root := range d.roots {
+		for _, c := range root.feed(id, t) {
+			out = append(out, Detection{Name: d.names[i], Start: c.Start, End: c.End})
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package composite
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"genas/internal/predicate"
+)
+
+var t0 = time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+
+func at(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+
+func mustSeq(t *testing.T, l, r Expr, w time.Duration) Expr {
+	t.Helper()
+	e, err := Seq(l, r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustAnd(t *testing.T, l, r Expr, w time.Duration) Expr {
+	t.Helper()
+	e, err := And(l, r, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustOr(t *testing.T, l, r Expr) Expr {
+	t.Helper()
+	e, err := Or(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func detector(t *testing.T, name string, e Expr) *Detector {
+	t.Helper()
+	d, err := NewDetector(map[string]Expr{name: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSequence(t *testing.T) {
+	d := detector(t, "AB", mustSeq(t, Prim("A"), Prim("B"), time.Second))
+
+	if got := d.Feed("B", at(0)); len(got) != 0 {
+		t.Errorf("B alone fired %v", got)
+	}
+	if got := d.Feed("A", at(10)); len(got) != 0 {
+		t.Errorf("A alone fired %v", got)
+	}
+	got := d.Feed("B", at(500))
+	if len(got) != 1 || got[0].Name != "AB" {
+		t.Fatalf("A;B = %v", got)
+	}
+	if got[0].Start != at(10) || got[0].End != at(500) {
+		t.Errorf("span = %v..%v", got[0].Start, got[0].End)
+	}
+	// Window expiry: a B far in the future does not pair with the stale A.
+	if got := d.Feed("B", at(5000)); len(got) != 0 {
+		t.Errorf("expired A still fired %v", got)
+	}
+}
+
+func TestSequenceOrderMatters(t *testing.T) {
+	d := detector(t, "AB", mustSeq(t, Prim("A"), Prim("B"), time.Second))
+	d.Feed("B", at(0))
+	if got := d.Feed("A", at(100)); len(got) != 0 {
+		t.Errorf("B before A fired %v", got)
+	}
+}
+
+func TestConjunctionAnyOrder(t *testing.T) {
+	d := detector(t, "A&B", mustAnd(t, Prim("A"), Prim("B"), time.Second))
+	d.Feed("B", at(0))
+	got := d.Feed("A", at(400))
+	if len(got) != 1 {
+		t.Fatalf("B,A = %v", got)
+	}
+	if got[0].Start != at(0) || got[0].End != at(400) {
+		t.Errorf("span = %+v", got[0])
+	}
+	// Expired halves do not pair.
+	d2 := detector(t, "A&B", mustAnd(t, Prim("A"), Prim("B"), 100*time.Millisecond))
+	d2.Feed("A", at(0))
+	if got := d2.Feed("B", at(500)); len(got) != 0 {
+		t.Errorf("expired conjunction fired %v", got)
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	d := detector(t, "A|B", mustOr(t, Prim("A"), Prim("B")))
+	if got := d.Feed("A", at(0)); len(got) != 1 {
+		t.Errorf("A = %v", got)
+	}
+	if got := d.Feed("B", at(1)); len(got) != 1 {
+		t.Errorf("B = %v", got)
+	}
+	if got := d.Feed("C", at(2)); len(got) != 0 {
+		t.Errorf("C = %v", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	e, err := Count(Prim("A"), 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := detector(t, "3A", e)
+	d.Feed("A", at(0))
+	d.Feed("A", at(100))
+	got := d.Feed("A", at(200))
+	if len(got) != 1 {
+		t.Fatalf("third A = %v", got)
+	}
+	if got[0].Start != at(0) || got[0].End != at(200) {
+		t.Errorf("span = %+v", got[0])
+	}
+	// Sliding window: a fourth A still sees three within the window.
+	if got := d.Feed("A", at(300)); len(got) != 1 {
+		t.Errorf("fourth A = %v", got)
+	}
+	// After a long quiet period the window restarts.
+	if got := d.Feed("A", at(5000)); len(got) != 0 {
+		t.Errorf("lone A after gap = %v", got)
+	}
+}
+
+func TestNestedExpressions(t *testing.T) {
+	// (A ; (B | C)) within 1s
+	inner := mustOr(t, Prim("B"), Prim("C"))
+	d := detector(t, "nested", mustSeq(t, Prim("A"), inner, time.Second))
+	d.Feed("A", at(0))
+	if got := d.Feed("C", at(100)); len(got) != 1 {
+		t.Errorf("A;C = %v", got)
+	}
+	d.Feed("A", at(2000))
+	if got := d.Feed("B", at(2100)); len(got) != 1 {
+		t.Errorf("A;B = %v", got)
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := Seq(nil, Prim("A"), time.Second); err == nil {
+		t.Error("nil operand must fail")
+	}
+	if _, err := Seq(Prim("A"), Prim("B"), 0); err == nil {
+		t.Error("zero window must fail")
+	}
+	if _, err := And(Prim("A"), nil, time.Second); err == nil {
+		t.Error("nil operand must fail")
+	}
+	if _, err := Or(nil, nil); err == nil {
+		t.Error("nil operands must fail")
+	}
+	if _, err := Count(Prim("A"), 1, time.Second); err == nil {
+		t.Error("count < 2 must fail")
+	}
+	if _, err := Count(Prim("A"), 3, 0); err == nil {
+		t.Error("zero window must fail")
+	}
+	if _, err := NewDetector(nil); err == nil {
+		t.Error("empty detector must fail")
+	}
+	if _, err := NewDetector(map[string]Expr{"x": nil}); err == nil {
+		t.Error("nil expression must fail")
+	}
+}
+
+func TestMultipleExpressionsDeterministicOrder(t *testing.T) {
+	seq := mustSeq(t, Prim("A"), Prim("B"), time.Second)
+	or := mustOr(t, Prim("A"), Prim("B"))
+	d, err := NewDetector(map[string]Expr{"zz": or, "aa": seq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Feed("A", at(0))
+	got := d.Feed("B", at(10))
+	if len(got) != 2 {
+		t.Fatalf("detections = %v", got)
+	}
+	if got[0].Name != "aa" || got[1].Name != "zz" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+// TestSequenceAgainstBruteForce: the incremental detector agrees with a
+// quadratic window scan on random streams.
+func TestSequenceAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	window := 300 * time.Millisecond
+	d := detector(t, "AB", mustSeq(t, Prim("A"), Prim("B"), window))
+
+	type occ struct {
+		id predicate.ID
+		t  time.Time
+	}
+	var history []occ
+	ids := []predicate.ID{"A", "B", "C"}
+	now := 0
+	total := 0
+	for i := 0; i < 2000; i++ {
+		now += rng.Intn(50)
+		o := occ{ids[rng.Intn(len(ids))], at(now)}
+		history = append(history, o)
+		got := len(d.Feed(o.id, o.t))
+		total += got
+
+		// Brute force: count A-completions pairing with THIS event as B.
+		want := 0
+		if o.id == "B" {
+			for _, h := range history[:len(history)-1] {
+				if h.id == "A" && h.t.Before(o.t) && o.t.Sub(h.t) <= window {
+					want++
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("event %d (%s@%v): detector %d, brute force %d", i, o.id, o.t, got, want)
+		}
+	}
+	if total == 0 {
+		t.Error("no detections in 2000 events; test is vacuous")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e, _ := Count(mustOr(t, Prim("A"), Prim("B")), 3, time.Second)
+	s := e.String()
+	if s == "" {
+		t.Error("empty expression string")
+	}
+	seq := mustSeq(t, Prim("X"), Prim("Y"), time.Second)
+	if seq.String() != "(X ; Y)[1s]" {
+		t.Errorf("seq string = %q", seq.String())
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchResult carries one event's match outcome inside a batch.
+type BatchResult struct {
+	// Matched holds dense profile indices into the snapshot used for the
+	// batch (ascending).
+	Matched []int
+	// Ops is the comparison count spent on the event.
+	Ops int
+}
+
+// MatchBatch filters many events concurrently against one automaton
+// snapshot. All events in the batch see the same profile corpus even if
+// subscriptions change mid-flight, and results are positionally aligned
+// with the input. workers ≤ 0 selects GOMAXPROCS.
+//
+// The profile tree is immutable after construction and value reordering, so
+// concurrent matching needs no locking — the snapshot pattern the single-
+// event path uses extends to whole batches at amortized synchronization
+// cost.
+func (e *Engine) MatchBatch(events [][]float64, workers int) ([]BatchResult, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	t, err := e.snapshot()
+	if err != nil {
+		if err == ErrNoProfiles {
+			return make([]BatchResult, len(events)), nil
+		}
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(events) {
+		workers = len(events)
+	}
+
+	results := make([]BatchResult, len(events))
+	var next int
+	var mu sync.Mutex
+	const chunk = 64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := next
+				next += chunk
+				mu.Unlock()
+				if lo >= len(events) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(events) {
+					hi = len(events)
+				}
+				for i := lo; i < hi; i++ {
+					matched, ops := t.Match(events[i])
+					results[i] = BatchResult{Matched: matched, Ops: ops}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		e.account.Record(r.Ops, len(r.Matched))
+	}
+	return results, nil
+}

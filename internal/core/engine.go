@@ -1,0 +1,447 @@
+// Package core assembles the paper's primary contribution: the
+// distribution-dependent tree filter (§4). An Engine owns the profile
+// corpus, builds the profile-tree automaton, applies the configured
+// selectivity measures — value measures V1–V3 and attribute measures A1–A3 —
+// and filters events while accounting operations.
+//
+// The engine "evaluates first those event-values and attributes that have
+// the highest selectivity": attributes with high selectivity move to the top
+// levels of the tree and, inside every node, values with the highest
+// selectivity are tested first (§4.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"genas/internal/dist"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/selectivity"
+	"genas/internal/stats"
+	"genas/internal/tree"
+)
+
+// ValueMeasure selects the within-node value ordering.
+type ValueMeasure int
+
+// Value orderings: the prototype's four orders, each ascending or
+// descending, plus binary search handled via Config.Search ("We tested all
+// permutations … with 8 different orderings plus binary search", §4.3).
+const (
+	ValueNatural ValueMeasure = iota + 1
+	ValueNaturalDesc
+	ValueEvent // Measure V1, descending P_e
+	ValueEventAsc
+	ValueProfile // Measure V2, descending P_p
+	ValueProfileAsc
+	ValueCombined // Measure V3, descending P_e·P_p
+	ValueCombinedAsc
+)
+
+// String names the measure as used in experiment tables.
+func (v ValueMeasure) String() string {
+	switch v {
+	case ValueNatural:
+		return "natural"
+	case ValueNaturalDesc:
+		return "natural-desc"
+	case ValueEvent:
+		return "event"
+	case ValueEventAsc:
+		return "event-asc"
+	case ValueProfile:
+		return "profile"
+	case ValueProfileAsc:
+		return "profile-asc"
+	case ValueCombined:
+		return "event*profile"
+	case ValueCombinedAsc:
+		return "event*profile-asc"
+	default:
+		return fmt.Sprintf("ValueMeasure(%d)", int(v))
+	}
+}
+
+// AttrOrdering selects the attribute (level) ordering.
+type AttrOrdering int
+
+// Attribute orderings. AttrNatural keeps schema order; AttrA1/AttrA2/AttrA3
+// apply the corresponding selectivity measure descending (most selective at
+// the root); the Asc variants are the paper's worst-case controls.
+const (
+	AttrNatural AttrOrdering = iota + 1
+	AttrA1
+	AttrA1Asc
+	AttrA2
+	AttrA2Asc
+	AttrA3
+)
+
+// String names the ordering.
+func (a AttrOrdering) String() string {
+	switch a {
+	case AttrNatural:
+		return "natural"
+	case AttrA1:
+		return "A1-desc"
+	case AttrA1Asc:
+		return "A1-asc"
+	case AttrA2:
+		return "A2-desc"
+	case AttrA2Asc:
+		return "A2-asc"
+	case AttrA3:
+		return "A3"
+	default:
+		return fmt.Sprintf("AttrOrdering(%d)", int(a))
+	}
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// ValueMeasure selects the node-internal value order (default natural).
+	ValueMeasure ValueMeasure
+	// AttrOrdering selects the level order (default natural).
+	AttrOrdering AttrOrdering
+	// Search selects the within-node strategy (default linear with the
+	// lookup-table early-termination rule).
+	Search tree.Search
+	// EventDists is P_e per schema attribute. Nil means uniform; the
+	// adaptive component replaces it with live histogram snapshots.
+	EventDists []dist.Dist
+	// ProfileDists is P_p per schema attribute. Nil means the empirical
+	// profile distribution derived from the corpus itself.
+	ProfileDists []dist.Dist
+}
+
+// Errors returned by the engine.
+var (
+	ErrDuplicateProfile = errors.New("core: duplicate profile id")
+	ErrUnknownProfile   = errors.New("core: unknown profile id")
+	ErrNoProfiles       = errors.New("core: no profiles registered")
+)
+
+// Engine is the distribution-based filter component. It is safe for
+// concurrent use: matches take a read lock; profile changes and rebuilds
+// take the write lock.
+type Engine struct {
+	mu      sync.RWMutex
+	schema  *schema.Schema
+	cfg     Config
+	byID    map[predicate.ID]int
+	dense   []*predicate.Profile
+	tree    *tree.Tree
+	dirty   bool
+	account stats.OpAccount
+}
+
+// NewEngine creates an engine over schema s.
+func NewEngine(s *schema.Schema, cfg Config) *Engine {
+	if cfg.ValueMeasure == 0 {
+		cfg.ValueMeasure = ValueNatural
+	}
+	if cfg.AttrOrdering == 0 {
+		cfg.AttrOrdering = AttrNatural
+	}
+	if cfg.Search == 0 {
+		cfg.Search = tree.SearchLinear
+	}
+	return &Engine{
+		schema: s,
+		cfg:    cfg,
+		byID:   make(map[predicate.ID]int),
+	}
+}
+
+// Schema returns the engine's schema.
+func (e *Engine) Schema() *schema.Schema { return e.schema }
+
+// AddProfile registers a profile; the tree is rebuilt lazily on the next
+// match or explicit Rebuild.
+func (e *Engine) AddProfile(p *predicate.Profile) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.byID[p.ID]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateProfile, p.ID)
+	}
+	e.byID[p.ID] = len(e.dense)
+	e.dense = append(e.dense, p)
+	e.dirty = true
+	return nil
+}
+
+// RemoveProfile unregisters a profile by id.
+func (e *Engine) RemoveProfile(id predicate.ID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProfile, id)
+	}
+	last := len(e.dense) - 1
+	e.dense[i] = e.dense[last]
+	e.dense = e.dense[:last]
+	delete(e.byID, id)
+	if i < last {
+		e.byID[e.dense[i].ID] = i
+	}
+	e.dirty = true
+	return nil
+}
+
+// ProfileCount returns the number of registered profiles.
+func (e *Engine) ProfileCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.dense)
+}
+
+// Profiles returns a copy of the registered profiles.
+func (e *Engine) Profiles() []*predicate.Profile {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*predicate.Profile, len(e.dense))
+	copy(out, e.dense)
+	return out
+}
+
+// eventDists returns P_e, defaulting to uniform per attribute.
+func (e *Engine) eventDists() []dist.Dist {
+	if e.cfg.EventDists != nil {
+		return e.cfg.EventDists
+	}
+	ds := make([]dist.Dist, e.schema.N())
+	for i := range ds {
+		ds[i] = dist.New(dist.UniformShape{}, e.schema.At(i).Domain)
+	}
+	return ds
+}
+
+// valueOrder materializes the configured value measure.
+func (e *Engine) valueOrder() tree.ValueOrder {
+	ed := e.eventDists()
+	pd := e.cfg.ProfileDists
+	switch e.cfg.ValueMeasure {
+	case ValueNaturalDesc:
+		return selectivity.NaturalDesc()
+	case ValueEvent:
+		return selectivity.V1(ed, true)
+	case ValueEventAsc:
+		return selectivity.V1(ed, false)
+	case ValueProfile:
+		if pd == nil {
+			return selectivity.V2Empirical(e.schema, e.dense, true)
+		}
+		return selectivity.V2(pd, true)
+	case ValueProfileAsc:
+		if pd == nil {
+			return selectivity.V2Empirical(e.schema, e.dense, false)
+		}
+		return selectivity.V2(pd, false)
+	case ValueCombined, ValueCombinedAsc:
+		desc := e.cfg.ValueMeasure == ValueCombined
+		if pd == nil {
+			emp := selectivity.V2Empirical(e.schema, e.dense, desc)
+			v1 := selectivity.V1(ed, desc)
+			return tree.ValueOrder{
+				Name:       "event*profile-emp",
+				Descending: desc,
+				Rank: func(attr int, region []tree.Interval) float64 {
+					return v1.Rank(attr, region) * emp.Rank(attr, region)
+				},
+			}
+		}
+		return selectivity.V3(ed, pd, desc)
+	default:
+		return selectivity.Natural()
+	}
+}
+
+// attrOrder computes the configured attribute order.
+func (e *Engine) attrOrder() ([]int, error) {
+	switch e.cfg.AttrOrdering {
+	case AttrA1, AttrA1Asc:
+		st := selectivity.AttributeStats(e.schema, e.dense, nil)
+		return selectivity.OrderAttributes(st, selectivity.MeasureA1, e.cfg.AttrOrdering == AttrA1), nil
+	case AttrA2, AttrA2Asc:
+		st := selectivity.AttributeStats(e.schema, e.dense, e.eventDists())
+		return selectivity.OrderAttributes(st, selectivity.MeasureA2, e.cfg.AttrOrdering == AttrA2), nil
+	case AttrA3:
+		order, _, err := selectivity.OrderAttributesA3(
+			e.schema, e.dense, e.eventDists(), e.valueOrder(), e.cfg.Search)
+		return order, err
+	default:
+		order := make([]int, e.schema.N())
+		for i := range order {
+			order[i] = i
+		}
+		return order, nil
+	}
+}
+
+// Rebuild reconstructs the automaton with the current configuration. It is
+// the expensive half of restructuring; Reorder is the cheap half.
+func (e *Engine) Rebuild() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rebuildLocked()
+}
+
+func (e *Engine) rebuildLocked() error {
+	if len(e.dense) == 0 {
+		return ErrNoProfiles
+	}
+	order, err := e.attrOrder()
+	if err != nil {
+		return err
+	}
+	// The automaton keeps its own copy of the corpus: RemoveProfile mutates
+	// e.dense in place, and in-flight matches must keep translating dense
+	// indices against the snapshot that produced them.
+	corpus := make([]*predicate.Profile, len(e.dense))
+	copy(corpus, e.dense)
+	t, err := tree.Build(e.schema, corpus,
+		tree.WithAttributeOrder(order), tree.WithSearch(e.cfg.Search))
+	if err != nil {
+		return err
+	}
+	t.ApplyValueOrder(e.valueOrder())
+	e.tree = t
+	e.dirty = false
+	return nil
+}
+
+// Reorder re-applies the value ordering on the existing structure (cheap
+// restructuring after a distribution update).
+func (e *Engine) Reorder() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.tree == nil || e.dirty {
+		return e.rebuildLocked()
+	}
+	e.tree.ApplyValueOrder(e.valueOrder())
+	return nil
+}
+
+// SetEventDists replaces P_e (the adaptive component's entry point) without
+// restructuring; call Reorder or Rebuild to apply it.
+func (e *Engine) SetEventDists(ds []dist.Dist) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.EventDists = ds
+}
+
+// Config returns a copy of the current configuration.
+func (e *Engine) Config() Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg
+}
+
+// SetConfig replaces the measure/search configuration; the change takes
+// effect on the next Rebuild or Reorder.
+func (e *Engine) SetConfig(cfg Config) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cfg.ValueMeasure == 0 {
+		cfg.ValueMeasure = e.cfg.ValueMeasure
+	}
+	if cfg.AttrOrdering == 0 {
+		cfg.AttrOrdering = e.cfg.AttrOrdering
+	}
+	if cfg.Search == 0 {
+		cfg.Search = e.cfg.Search
+	}
+	e.cfg = cfg
+	e.dirty = true
+}
+
+// Match filters one event, returning matched profile IDs and the operations
+// spent. The tree is rebuilt transparently if profiles changed. IDs are
+// resolved against the same automaton snapshot that produced the match, so
+// concurrent profile churn cannot skew the translation.
+func (e *Engine) Match(vals []float64) ([]predicate.ID, int, error) {
+	t, err := e.snapshot()
+	if errors.Is(err, ErrNoProfiles) {
+		return nil, 0, nil // an empty filter matches nothing
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	matched, ops := t.Match(vals)
+	e.account.Record(ops, len(matched))
+	ids := make([]predicate.ID, len(matched))
+	profiles := t.Profiles()
+	for i, pi := range matched {
+		ids[i] = profiles[pi].ID
+	}
+	return ids, ops, nil
+}
+
+// MatchDense is Match returning dense indices into the tree snapshot (hot
+// path; avoids the ID materialization). The indices are only meaningful
+// against Tree().Profiles() of the same snapshot.
+func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
+	t, err := e.snapshot()
+	if errors.Is(err, ErrNoProfiles) {
+		return nil, 0, nil // an empty filter matches nothing
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	matched, ops := t.Match(vals)
+	e.account.Record(ops, len(matched))
+	return matched, ops, nil
+}
+
+// snapshot returns the current automaton, rebuilding it when profiles
+// changed since the last build.
+func (e *Engine) snapshot() (*tree.Tree, error) {
+	e.mu.RLock()
+	if !e.dirty && e.tree != nil {
+		t := e.tree
+		e.mu.RUnlock()
+		return t, nil
+	}
+	e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dirty || e.tree == nil {
+		if err := e.rebuildLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return e.tree, nil
+}
+
+// Tree exposes the current automaton (nil until built). The experiments
+// harness uses it for analytic evaluation.
+func (e *Engine) Tree() *tree.Tree {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tree
+}
+
+// Analyze runs the analytic cost model (Eq. 2) under the engine's event
+// distributions.
+func (e *Engine) Analyze() (selectivity.Analysis, error) {
+	e.mu.Lock()
+	if e.dirty || e.tree == nil {
+		if err := e.rebuildLocked(); err != nil {
+			e.mu.Unlock()
+			return selectivity.Analysis{}, err
+		}
+	}
+	t := e.tree
+	ed := e.eventDists()
+	e.mu.Unlock()
+	return selectivity.Analyze(t, ed), nil
+}
+
+// Account returns the live operation accounting summary.
+func (e *Engine) Account() stats.Summary { return e.account.Summary() }
+
+// ResetAccount clears operation accounting.
+func (e *Engine) ResetAccount() { e.account.Reset() }

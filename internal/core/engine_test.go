@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"genas/internal/dist"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/tree"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	a, _ := schema.NewIntegerDomain(0, 99)
+	b, _ := schema.NewIntegerDomain(0, 99)
+	return schema.MustNew(
+		schema.Attribute{Name: "x", Domain: a},
+		schema.Attribute{Name: "y", Domain: b},
+	)
+}
+
+func TestEngineLifecycle(t *testing.T) {
+	s := testSchema(t)
+	e := NewEngine(s, Config{})
+
+	if m, ops, err := e.MatchDense([]float64{1, 2}); err != nil || m != nil || ops != 0 {
+		t.Fatalf("empty engine must match nothing: %v %d %v", m, ops, err)
+	}
+	if err := e.Rebuild(); !errors.Is(err, ErrNoProfiles) {
+		t.Fatalf("empty rebuild error = %v", err)
+	}
+
+	p1 := predicate.MustParse(s, "p1", "profile(x >= 50)")
+	if err := e.AddProfile(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddProfile(p1); !errors.Is(err, ErrDuplicateProfile) {
+		t.Error("duplicate must be rejected")
+	}
+	ids, ops, err := e.Match([]float64{60, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "p1" || ops <= 0 {
+		t.Errorf("match = %v ops=%d", ids, ops)
+	}
+
+	p2 := predicate.MustParse(s, "p2", "profile(y <= 10)")
+	if err := e.AddProfile(p2); err != nil {
+		t.Fatal(err)
+	}
+	ids, _, _ = e.Match([]float64{60, 5})
+	if len(ids) != 2 {
+		t.Errorf("after add: %v", ids)
+	}
+
+	if err := e.RemoveProfile("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveProfile("p1"); !errors.Is(err, ErrUnknownProfile) {
+		t.Error("double remove must error")
+	}
+	ids, _, _ = e.Match([]float64{60, 5})
+	if len(ids) != 1 || ids[0] != "p2" {
+		t.Errorf("after remove: %v", ids)
+	}
+	if e.ProfileCount() != 1 {
+		t.Errorf("count = %d", e.ProfileCount())
+	}
+}
+
+func TestEngineAccount(t *testing.T) {
+	s := testSchema(t)
+	e := NewEngine(s, Config{})
+	if err := e.AddProfile(predicate.MustParse(s, "p", "profile(x = 5)")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := e.MatchDense([]float64{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	acc := e.Account()
+	if acc.Events != 10 || acc.Ops == 0 {
+		t.Errorf("account = %+v", acc)
+	}
+	e.ResetAccount()
+	if e.Account().Events != 0 {
+		t.Error("reset failed")
+	}
+}
+
+// TestEngineMeasuresChangeOrder: switching from natural to V1 with a peaked
+// event distribution lowers the analytic cost.
+func TestEngineMeasuresChangeOrder(t *testing.T) {
+	s := testSchema(t)
+	eds := []dist.Dist{
+		dist.New(dist.PeakHigh(0.95), s.At(0).Domain),
+		dist.New(dist.UniformShape{}, s.At(1).Domain),
+	}
+	e := NewEngine(s, Config{EventDists: eds})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 40; i++ {
+		expr := fmt.Sprintf("profile(x = %d)", rng.Intn(100))
+		if err := e.AddProfile(predicate.MustParse(s, predicate.ID(fmt.Sprintf("p%d", i)), expr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aNat, err := e.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := e.Config()
+	cfg.ValueMeasure = ValueEvent
+	e.SetConfig(cfg)
+	aV1, err := e.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aV1.TotalOps >= aNat.TotalOps {
+		t.Errorf("V1 %.3f must beat natural %.3f on peaked events", aV1.TotalOps, aNat.TotalOps)
+	}
+}
+
+// TestEngineAttrOrderings: A1/A2/A3 orderings produce valid trees matching
+// the same events.
+func TestEngineAttrOrderings(t *testing.T) {
+	s := testSchema(t)
+	for _, ord := range []AttrOrdering{AttrNatural, AttrA1, AttrA1Asc, AttrA2, AttrA2Asc, AttrA3} {
+		e := NewEngine(s, Config{AttrOrdering: ord})
+		if err := e.AddProfile(predicate.MustParse(s, "p1", "profile(x in [10,20]; y >= 90)")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddProfile(predicate.MustParse(s, "p2", "profile(y <= 5)")); err != nil {
+			t.Fatal(err)
+		}
+		ids, _, err := e.Match([]float64{15, 95})
+		if err != nil {
+			t.Fatalf("%v: %v", ord, err)
+		}
+		if len(ids) != 1 || ids[0] != "p1" {
+			t.Errorf("%v: match = %v", ord, ids)
+		}
+		ids, _, _ = e.Match([]float64{50, 3})
+		if len(ids) != 1 || ids[0] != "p2" {
+			t.Errorf("%v: match = %v", ord, ids)
+		}
+	}
+}
+
+// TestEngineReorderKeepsSemantics: Reorder after SetEventDists changes costs
+// but never match results.
+func TestEngineReorderKeepsSemantics(t *testing.T) {
+	s := testSchema(t)
+	e := NewEngine(s, Config{ValueMeasure: ValueEvent})
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 30; i++ {
+		expr := fmt.Sprintf("profile(x = %d; y = %d)", rng.Intn(100), rng.Intn(100))
+		if err := e.AddProfile(predicate.MustParse(s, predicate.ID(fmt.Sprintf("q%d", i)), expr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		vals []float64
+		ids  []predicate.ID
+	}
+	var before []result
+	for i := 0; i < 200; i++ {
+		vals := []float64{float64(rng.Intn(100)), float64(rng.Intn(100))}
+		ids, _, _ := e.Match(vals)
+		before = append(before, result{vals, ids})
+	}
+	e.SetEventDists([]dist.Dist{
+		dist.New(dist.PeakLow(0.9), s.At(0).Domain),
+		dist.New(dist.PeakHigh(0.9), s.At(1).Domain),
+	})
+	if err := e.Reorder(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range before {
+		ids, _, _ := e.Match(r.vals)
+		if len(ids) != len(r.ids) {
+			t.Fatalf("reorder changed result at %v: %v vs %v", r.vals, ids, r.ids)
+		}
+		for i := range ids {
+			if ids[i] != r.ids[i] {
+				t.Fatalf("reorder changed result at %v: %v vs %v", r.vals, ids, r.ids)
+			}
+		}
+	}
+}
+
+// TestEngineConcurrent: concurrent matches with interleaved profile changes
+// neither race nor corrupt results (run with -race).
+func TestEngineConcurrent(t *testing.T) {
+	s := testSchema(t)
+	e := NewEngine(s, Config{})
+	for i := 0; i < 20; i++ {
+		expr := fmt.Sprintf("profile(x = %d)", i*5)
+		if err := e.AddProfile(predicate.MustParse(s, predicate.ID(fmt.Sprintf("p%d", i)), expr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, _, err := e.MatchDense([]float64{float64(rng.Intn(100)), float64(rng.Intn(100))})
+				if err != nil && !errors.Is(err, ErrNoProfiles) {
+					t.Errorf("match: %v", err)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	for i := 0; i < 30; i++ {
+		id := predicate.ID(fmt.Sprintf("extra%d", i))
+		expr := fmt.Sprintf("profile(y = %d)", i)
+		if err := e.AddProfile(predicate.MustParse(s, id, expr)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := e.RemoveProfile(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := testSchema(t)
+	e := NewEngine(s, Config{})
+	cfg := e.Config()
+	if cfg.ValueMeasure != ValueNatural || cfg.AttrOrdering != AttrNatural || cfg.Search != tree.SearchLinear {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// SetConfig with zero fields keeps previous values.
+	e.SetConfig(Config{Search: tree.SearchBinary})
+	cfg = e.Config()
+	if cfg.ValueMeasure != ValueNatural || cfg.Search != tree.SearchBinary {
+		t.Errorf("after SetConfig = %+v", cfg)
+	}
+}
+
+func TestMeasureStrings(t *testing.T) {
+	for m := ValueNatural; m <= ValueCombinedAsc; m++ {
+		if m.String() == "" {
+			t.Error("empty measure name")
+		}
+	}
+	for a := AttrNatural; a <= AttrA3; a++ {
+		if a.String() == "" {
+			t.Error("empty ordering name")
+		}
+	}
+}
+
+// TestMatchBatch: batch results agree positionally with sequential matching
+// and concurrent workers do not race (run with -race).
+func TestMatchBatch(t *testing.T) {
+	s := testSchema(t)
+	e := NewEngine(s, Config{})
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		expr := fmt.Sprintf("profile(x = %d; y = %d)", rng.Intn(100), rng.Intn(100))
+		if err := e.AddProfile(predicate.MustParse(s, predicate.ID(fmt.Sprintf("b%d", i)), expr)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := make([][]float64, 1000)
+	for i := range events {
+		events[i] = []float64{float64(rng.Intn(100)), float64(rng.Intn(100))}
+	}
+	batch, err := e.MatchBatch(events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(events) {
+		t.Fatalf("results = %d", len(batch))
+	}
+	for i, ev := range events {
+		seq, ops, err := e.MatchDense(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ops != batch[i].Ops || len(seq) != len(batch[i].Matched) {
+			t.Fatalf("event %d: batch %+v vs sequential %v/%d", i, batch[i], seq, ops)
+		}
+		for j := range seq {
+			if seq[j] != batch[i].Matched[j] {
+				t.Fatalf("event %d: match sets differ", i)
+			}
+		}
+	}
+	// Empty inputs and empty engines behave.
+	if out, err := e.MatchBatch(nil, 4); err != nil || out != nil {
+		t.Errorf("empty batch: %v %v", out, err)
+	}
+	empty := NewEngine(s, Config{})
+	out, err := empty.MatchBatch(events[:3], 2)
+	if err != nil || len(out) != 3 || out[0].Matched != nil {
+		t.Errorf("empty engine batch: %v %v", out, err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package event models primitive events: occurrences of state transitions
+// described as collections of (attribute, value) pairs (paper §3).
+package event
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"genas/internal/schema"
+)
+
+// Errors reported by event construction and parsing.
+var (
+	ErrArity  = errors.New("event: value count does not match schema")
+	ErrSyntax = errors.New("event: syntax error")
+)
+
+// Event is a primitive event. Values are indexed by schema attribute
+// position; categorical attributes carry their integer codes.
+type Event struct {
+	// Vals holds one value per schema attribute.
+	Vals []float64
+	// Time is the occurrence time of the state transition.
+	Time time.Time
+	// Seq is a service-assigned sequence number (0 until published).
+	Seq uint64
+}
+
+// New validates vals against s and returns the event.
+func New(s *schema.Schema, vals ...float64) (Event, error) {
+	if len(vals) != s.N() {
+		return Event{}, fmt.Errorf("%w: got %d values for %d attributes", ErrArity, len(vals), s.N())
+	}
+	for i, v := range vals {
+		if err := s.Validate(i, v); err != nil {
+			return Event{}, err
+		}
+	}
+	e := Event{Vals: make([]float64, len(vals))}
+	copy(e.Vals, vals)
+	return e, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(s *schema.Schema, vals ...float64) Event {
+	e, err := New(s, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// At returns the value of attribute i.
+func (e Event) At(i int) float64 { return e.Vals[i] }
+
+// Clone returns a deep copy of the event.
+func (e Event) Clone() Event {
+	c := e
+	c.Vals = make([]float64, len(e.Vals))
+	copy(c.Vals, e.Vals)
+	return c
+}
+
+// Render prints the event in the paper's notation with attribute names.
+func (e Event) Render(s *schema.Schema) string {
+	var b strings.Builder
+	b.WriteString("event(")
+	for i, v := range e.Vals {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		a := s.At(i)
+		if a.Domain.Kind() == schema.KindCategorical {
+			if l, ok := a.Domain.Label(int(v)); ok {
+				fmt.Fprintf(&b, "%s=%s", a.Name, l)
+				continue
+			}
+		}
+		fmt.Fprintf(&b, "%s=%g", a.Name, v)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Parse reads the paper's event notation: "event(temperature=30; humidity=90;
+// radiation=2)". Attributes may appear in any order; all must be present.
+func Parse(s *schema.Schema, text string) (Event, error) {
+	body := strings.TrimSpace(text)
+	if strings.HasPrefix(body, "event(") {
+		if !strings.HasSuffix(body, ")") {
+			return Event{}, fmt.Errorf("%w: missing closing parenthesis in %q", ErrSyntax, text)
+		}
+		body = body[len("event(") : len(body)-1]
+	}
+	vals := make([]float64, s.N())
+	seen := make([]bool, s.N())
+	for _, part := range strings.Split(body, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return Event{}, fmt.Errorf("%w: missing '=' in %q", ErrSyntax, part)
+		}
+		name := strings.TrimSpace(part[:eq])
+		valTok := strings.TrimSpace(part[eq+1:])
+		i, err := s.Index(name)
+		if err != nil {
+			return Event{}, err
+		}
+		if seen[i] {
+			return Event{}, fmt.Errorf("%w: duplicate attribute %q", ErrSyntax, name)
+		}
+		dom := s.At(i).Domain
+		var v float64
+		if dom.Kind() == schema.KindCategorical {
+			if c, ok := dom.Code(valTok); ok {
+				v = float64(c)
+			} else if f, err := strconv.ParseFloat(valTok, 64); err == nil {
+				v = f
+			} else {
+				return Event{}, fmt.Errorf("%w: unknown label %q for %s", ErrSyntax, valTok, name)
+			}
+		} else {
+			f, err := strconv.ParseFloat(valTok, 64)
+			if err != nil {
+				return Event{}, fmt.Errorf("%w: bad number %q for %s", ErrSyntax, valTok, name)
+			}
+			v = f
+		}
+		vals[i] = v
+		seen[i] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return Event{}, fmt.Errorf("%w: attribute %q missing", ErrSyntax, s.At(i).Name)
+		}
+	}
+	return New(s, vals...)
+}

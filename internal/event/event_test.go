@@ -1,0 +1,102 @@
+package event
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"genas/internal/schema"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	temp, _ := schema.NewNumericDomain(-30, 50)
+	hum, _ := schema.NewNumericDomain(0, 100)
+	state, _ := schema.NewCategoricalDomain("ok", "alarm")
+	return schema.MustNew(
+		schema.Attribute{Name: "temperature", Domain: temp},
+		schema.Attribute{Name: "humidity", Domain: hum},
+		schema.Attribute{Name: "state", Domain: state},
+	)
+}
+
+func TestNewValidates(t *testing.T) {
+	s := testSchema(t)
+	if _, err := New(s, 30, 90); !errors.Is(err, ErrArity) {
+		t.Error("wrong arity must error")
+	}
+	if _, err := New(s, 60, 90, 0); !errors.Is(err, schema.ErrValueOutOfDomain) {
+		t.Error("out-of-domain must error")
+	}
+	ev, err := New(s, 30, 90, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.At(0) != 30 || ev.At(2) != 1 {
+		t.Error("values wrong")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := testSchema(t)
+	ev := MustNew(s, 30, 90, 0)
+	cp := ev.Clone()
+	cp.Vals[0] = -5
+	if ev.Vals[0] != 30 {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestRenderAndParseRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	ev := MustNew(s, 30, 90, 1)
+	text := ev.Render(s)
+	if !strings.Contains(text, "temperature=30") || !strings.Contains(text, "state=alarm") {
+		t.Errorf("render = %q", text)
+	}
+	back, err := Parse(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ev.Vals {
+		if back.Vals[i] != ev.Vals[i] {
+			t.Errorf("attr %d: %g != %g", i, back.Vals[i], ev.Vals[i])
+		}
+	}
+}
+
+func TestParsePaperNotation(t *testing.T) {
+	s := testSchema(t)
+	ev, err := Parse(s, "event(temperature=30; humidity = 90; state=ok)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Vals[0] != 30 || ev.Vals[1] != 90 || ev.Vals[2] != 0 {
+		t.Errorf("parsed %v", ev.Vals)
+	}
+	// Attribute order in the text must not matter.
+	ev2, err := Parse(s, "humidity=90; state=ok; temperature=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Vals[0] != 30 {
+		t.Error("order independence broken")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := testSchema(t)
+	for _, bad := range []string{
+		"event(temperature=30",                                // unbalanced
+		"event(temperature=30; humidity=90)",                  // missing state
+		"event(temperature=30; temperature=30; humidity=90)",  // duplicate
+		"event(temperature=hot; humidity=90; state=ok)",       // bad number
+		"event(temperature=30; humidity=90; state=exploding)", // bad label
+		"event(nosuch=1; humidity=90; state=ok)",              // unknown attr
+		"event(temperature 30; humidity=90; state=ok)",        // missing '='
+	} {
+		if _, err := Parse(s, bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}

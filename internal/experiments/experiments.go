@@ -1,0 +1,207 @@
+// Package experiments regenerates the paper's evaluation (§4.3): the value
+// reordering figures 4(a), 4(b) and 5(a–c), the attribute reordering figures
+// 6(a) and 6(b), the distribution catalog of Fig. 3 and the test scenarios
+// TV1–TV4. Each figure function returns a Table whose series mirror the bars
+// of the original plot; cmd/reproduce prints them and bench_test.go wraps
+// them in testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"genas/internal/dist"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+)
+
+// Series is one plotted strategy across the x-axis cells.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Table is one regenerated figure.
+type Table struct {
+	Title   string
+	Metric  string
+	Columns []string
+	Series  []Series
+}
+
+// Render prints the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "metric: %s\n", t.Metric)
+
+	wLabel := len("strategy")
+	for _, s := range t.Series {
+		if len(s.Label) > wLabel {
+			wLabel = len(s.Label)
+		}
+	}
+	wCol := 8
+	for _, c := range t.Columns {
+		if len(c) > wCol {
+			wCol = len(c)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", wLabel+2, "strategy")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %*s", wCol, c)
+	}
+	b.WriteByte('\n')
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, "%-*s", wLabel+2, s.Label)
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, " %*.3f", wCol, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row, for
+// plotting pipelines.
+func (t Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("strategy")
+	for _, c := range t.Columns {
+		b.WriteString(",")
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, s := range t.Series {
+		b.WriteString(csvEscape(s.Label))
+		for _, v := range s.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Best returns, per column, the index of the winning (minimal) series.
+func (t Table) Best() []int {
+	if len(t.Series) == 0 {
+		return nil
+	}
+	out := make([]int, len(t.Columns))
+	for c := range t.Columns {
+		best := 0
+		for s := 1; s < len(t.Series); s++ {
+			if t.Series[s].Values[c] < t.Series[best].Values[c] {
+				best = s
+			}
+		}
+		out[c] = best
+	}
+	return out
+}
+
+// --- Workload generation --------------------------------------------------------
+
+// Domain1D is the single-attribute integer domain used by the value
+// reordering scenarios (TV3/TV4 operate on "full profile tree with one
+// attribute only").
+const domain1DSize = 100
+
+// Schema1D builds the one-attribute integer schema.
+func Schema1D() *schema.Schema {
+	dom, err := schema.NewIntegerDomain(0, domain1DSize-1)
+	if err != nil {
+		panic(err) // static bounds cannot fail
+	}
+	return schema.MustNew(schema.Attribute{Name: "value", Domain: dom})
+}
+
+// GenProfiles1D draws p equality profiles over the 1-D schema with values
+// sampled from the profile distribution (the paper's prototype "supports
+// only equality tests and don't care cases" for its measurements, §4.2).
+// Duplicate values collapse into shared subranges, exactly as repeated user
+// interests would.
+func GenProfiles1D(s *schema.Schema, p int, pd dist.Dist, rng *rand.Rand) []*predicate.Profile {
+	profiles := make([]*predicate.Profile, 0, p)
+	for i := 0; i < p; i++ {
+		v := pd.Sample(rng)
+		pr, err := predicate.NewComparison(0, predicate.OpEq, v)
+		if err != nil {
+			continue // cannot happen for sampled finite values
+		}
+		prof, err := predicate.New(s, predicate.ID(fmt.Sprintf("p%04d", i)), pr)
+		if err != nil {
+			continue
+		}
+		profiles = append(profiles, prof)
+	}
+	return profiles
+}
+
+// SchemaND builds an n-attribute integer schema for the attribute
+// reordering experiments.
+func SchemaND(n int) *schema.Schema {
+	attrs := make([]schema.Attribute, n)
+	for i := range attrs {
+		dom, err := schema.NewIntegerDomain(0, domain1DSize-1)
+		if err != nil {
+			panic(err)
+		}
+		attrs[i] = schema.Attribute{Name: fmt.Sprintf("a%d", i+1), Domain: dom}
+	}
+	return schema.MustNew(attrs...)
+}
+
+// GenProfilesND draws p range profiles over an n-attribute schema. Attribute
+// j's predicates are ranges confined to a band covering widths[j] of the
+// domain (centered on the domain middle), so the zero-subdomain fraction
+// d₀/d of attribute j is ≈ 1−widths[j]: the "peaks of width from 10%–80%"
+// of experiment TA1. Centered bands make the Fig. 6 event distributions
+// behave as in the paper: centered Gauss events mostly hit profile ranges
+// while a relocated Gauss concentrates on the zero-subdomains.
+func GenProfilesND(s *schema.Schema, p int, widths []float64, rng *rand.Rand) []*predicate.Profile {
+	profiles := make([]*predicate.Profile, 0, p)
+	for i := 0; i < p; i++ {
+		preds := make([]predicate.Predicate, 0, s.N())
+		for attr := 0; attr < s.N(); attr++ {
+			dom := s.At(attr).Domain
+			span := dom.Hi() - dom.Lo()
+			w := widths[attr]
+			bandLo := dom.Lo() + (0.5-w/2)*span // band centered mid-domain
+			// Individual ranges cover a random sub-interval of the band.
+			a := bandLo + rng.Float64()*w*span
+			b := bandLo + rng.Float64()*w*span
+			if a > b {
+				a, b = b, a
+			}
+			pr, err := predicate.NewRange(attr, float64(int(a)), float64(int(b)))
+			if err != nil {
+				continue
+			}
+			preds = append(preds, pr)
+		}
+		prof, err := predicate.New(s, predicate.ID(fmt.Sprintf("q%04d", i)), preds...)
+		if err != nil {
+			continue
+		}
+		profiles = append(profiles, prof)
+	}
+	return profiles
+}
+
+// distByName resolves a catalog name over a domain.
+func distByName(name string, dom schema.Domain) (dist.Dist, error) {
+	sh, err := dist.ByName(name)
+	if err != nil {
+		return dist.Dist{}, err
+	}
+	return dist.New(sh, dom), nil
+}

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"genas/internal/dist"
+	"genas/internal/selectivity"
+	"genas/internal/tree"
+)
+
+// ProfilesPerCell is the corpus size used by the value-reordering figures.
+// The paper's TV scenarios use up to 10,000 profiles; 2,000 keeps a full
+// catalog sweep fast while preserving every qualitative effect (the paper's
+// comparisons are between strategies within one cell, not across corpus
+// sizes).
+const ProfilesPerCell = 2000
+
+// combo is one x-axis cell: the event and profile distribution names.
+type combo struct{ pe, pp string }
+
+func (c combo) String() string { return c.pe + "/" + c.pp }
+
+// evalCell computes the analytic TV4 metrics of one (P_e, P_p, ordering)
+// cell. It returns the full analysis so callers can select their metric.
+func evalCell(c combo, order string, seed int64) (selectivity.Analysis, int, error) {
+	s := Schema1D()
+	dom := s.At(0).Domain
+	pe, err := distByName(c.pe, dom)
+	if err != nil {
+		return selectivity.Analysis{}, 0, err
+	}
+	pp, err := distByName(c.pp, dom)
+	if err != nil {
+		return selectivity.Analysis{}, 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	profiles := GenProfiles1D(s, ProfilesPerCell, pp, rng)
+
+	search := tree.SearchLinear
+	if order == "binary" {
+		search = tree.SearchBinary
+	}
+	tr, err := tree.Build(s, profiles, tree.WithSearch(search))
+	if err != nil {
+		return selectivity.Analysis{}, 0, err
+	}
+	eds := []dist.Dist{pe}
+	pds := []dist.Dist{pp}
+	switch order {
+	case "natural", "binary":
+		// keep the natural defined order
+	case "natural-desc":
+		tr.ApplyValueOrder(selectivity.NaturalDesc())
+	case "event":
+		tr.ApplyValueOrder(selectivity.V1(eds, true))
+	case "event-asc":
+		tr.ApplyValueOrder(selectivity.V1(eds, false))
+	case "profile":
+		tr.ApplyValueOrder(selectivity.V2(pds, true))
+	case "profile-asc":
+		tr.ApplyValueOrder(selectivity.V2(pds, false))
+	case "event*profile":
+		tr.ApplyValueOrder(selectivity.V3(eds, pds, true))
+	case "event*profile-asc":
+		tr.ApplyValueOrder(selectivity.V3(eds, pds, false))
+	default:
+		return selectivity.Analysis{}, 0, fmt.Errorf("experiments: unknown ordering %q", order)
+	}
+	return selectivity.Analyze(tr, eds), len(profiles), nil
+}
+
+// Fig4a regenerates Fig. 4(a): natural order vs event order (Measure V1) vs
+// binary search across seven event/profile distribution combinations,
+// scenario TV4 (analytic average operations per event).
+func Fig4a(seed int64) (Table, error) {
+	combos := []combo{
+		{"d37", "equal"}, {"d5", "d41"}, {"d3", "d39"}, {"d39", "d18"},
+		{"d40", "d17"}, {"d42", "d1"}, {"d39", "d1"},
+	}
+	return figureOverCombos(
+		"Fig. 4(a) — influence of value-reordering (Measure V1, TV4)",
+		"average #operations per event",
+		combos,
+		[]string{"natural order search", "event order search", "binary search"},
+		[]string{"natural", "event", "binary"},
+		func(a selectivity.Analysis, _ int) float64 { return a.TotalOps },
+		seed,
+	)
+}
+
+// Fig4b regenerates Fig. 4(b): Measures V1–V3 vs binary search across eight
+// combinations, scenario TV4.
+func Fig4b(seed int64) (Table, error) {
+	combos := []combo{
+		{"d14", "gauss"}, {"d2", "gauss"}, {"d4", "gauss"}, {"d16", "d39"},
+		{"d9", "gauss"}, {"d39", "gauss"}, {"d4", "d37"}, {"d17", "d34"},
+	}
+	return figureOverCombos(
+		"Fig. 4(b) — Measures V1–V3 vs binary search (TV4)",
+		"average #operations per event",
+		combos,
+		[]string{"profile order search", "event * profile order search", "events order search", "binary search"},
+		[]string{"profile", "event*profile", "event", "binary"},
+		func(a selectivity.Analysis, _ int) float64 { return a.TotalOps },
+		seed,
+	)
+}
+
+// fig5Combos are the Fig. 5 event/profile distribution pairs: equally
+// distributed events, falling events and peaked events against profile
+// peaks of varying probability and location.
+var fig5Combos = []combo{
+	{"equal", "90% high"}, {"equal", "95% high"}, {"equal", "95% low"},
+	{"falling", "95% high"}, {"95% high", "95% low"}, {"95% low", "95% low"},
+}
+
+var fig5Orders = []string{"profile", "event*profile", "event", "binary"}
+
+var fig5Labels = []string{
+	"profile order search", "event * profile order search",
+	"events order search", "binary search",
+}
+
+// Fig5a regenerates Fig. 5(a): average operations per event.
+func Fig5a(seed int64) (Table, error) {
+	return figureOverCombos(
+		"Fig. 5(a) — value reordering, average filter operations per event (TV4)",
+		"average #operations per event",
+		fig5Combos, fig5Labels, fig5Orders,
+		func(a selectivity.Analysis, _ int) float64 { return a.TotalOps },
+		seed,
+	)
+}
+
+// Fig5b regenerates Fig. 5(b): average operations per profile — the expected
+// operations until a profile's notification, averaged over profiles.
+func Fig5b(seed int64) (Table, error) {
+	return figureOverCombos(
+		"Fig. 5(b) — value reordering, average filter operations per profile (TV4)",
+		"average #operations per profile notification",
+		fig5Combos, fig5Labels, fig5Orders,
+		func(a selectivity.Analysis, _ int) float64 { return a.MeanProfileOps() },
+		seed,
+	)
+}
+
+// Fig5c regenerates Fig. 5(c): average operations per event and profile —
+// the per-event cost amortized over the registered profiles.
+func Fig5c(seed int64) (Table, error) {
+	return figureOverCombos(
+		"Fig. 5(c) — value reordering, average filter operations per event and profile (TV4)",
+		"average #operations per event per 100 profiles",
+		fig5Combos, fig5Labels, fig5Orders,
+		func(a selectivity.Analysis, p int) float64 {
+			if p == 0 {
+				return 0
+			}
+			return a.TotalOps / float64(p) * 100
+		},
+		seed,
+	)
+}
+
+// figureOverCombos runs one ordering strategy per series over all combos.
+func figureOverCombos(
+	title, metric string,
+	combos []combo,
+	labels, orders []string,
+	pick func(selectivity.Analysis, int) float64,
+	seed int64,
+) (Table, error) {
+	t := Table{Title: title, Metric: metric}
+	for _, c := range combos {
+		t.Columns = append(t.Columns, c.String())
+	}
+	for si, order := range orders {
+		s := Series{Label: labels[si]}
+		for ci, c := range combos {
+			// One seed per cell: every strategy sees the same profile corpus.
+			a, p, err := evalCell(c, order, seed+int64(ci))
+			if err != nil {
+				return Table{}, err
+			}
+			s.Values = append(s.Values, pick(a, p))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// Fig3 renders the distribution catalog: for each named distribution the
+// mass across ten equal cells of the normalized domain, an "impression of
+// the distribution" as the paper puts it.
+func Fig3(names []string) (Table, error) {
+	if len(names) == 0 {
+		names = []string{
+			"d1", "d2", "d3", "d5", "d9", "d14", "d16", "d17", "d18",
+			"d34", "d37", "d39", "d40", "d41", "d42",
+			"equal", "gauss", "relgauss-low", "relgauss-high", "falling",
+			"95% high", "95% low",
+		}
+	}
+	t := Table{
+		Title:  "Fig. 3 — exemplary distributions (mass per decile of the normalized domain)",
+		Metric: "probability mass per decile",
+	}
+	for d := 0; d < 10; d++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d-%d%%", d*10, (d+1)*10))
+	}
+	for _, name := range names {
+		sh, err := dist.ByName(name)
+		if err != nil {
+			return Table{}, err
+		}
+		s := Series{Label: name}
+		for d := 0; d < 10; d++ {
+			s.Values = append(s.Values, dist.MassOn(sh, float64(d)/10, float64(d+1)/10))
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}

@@ -1,0 +1,212 @@
+// Package matchers provides the common Matcher interface plus the two
+// baseline filtering algorithms the literature compares tree filtering
+// against (paper §2 distinguishes "simple algorithms, clustering, and
+// tree-based algorithms"):
+//
+//   - Naive: evaluate every profile predicate by predicate (the simple
+//     algorithm);
+//   - Counting: a predicate-index/counting algorithm in the style of Le
+//     Subscribe (Fabret et al., Pereira et al.), where each attribute keeps
+//     a sorted subrange index and profiles match when their satisfied-
+//     predicate counters reach their predicate counts;
+//   - Tree: the profile-tree automaton of package tree.
+//
+// All matchers report operation counts under comparable conventions (one
+// comparison or counter update = one operation), so the ablation benchmarks
+// can contrast the approaches.
+package matchers
+
+import (
+	"sort"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/subrange"
+	"genas/internal/tree"
+)
+
+// Matcher filters one event against the profile corpus. Implementations
+// return the dense indices of matched profiles (ascending) and the number of
+// elementary operations spent. Matchers are safe for concurrent Match calls.
+type Matcher interface {
+	Match(vals []float64) (matched []int, ops int)
+	Name() string
+}
+
+// --- Naive --------------------------------------------------------------------
+
+// Naive evaluates every profile independently.
+type Naive struct {
+	profiles []*predicate.Profile
+	n        int
+}
+
+// NewNaive builds the naive matcher.
+func NewNaive(s *schema.Schema, profiles []*predicate.Profile) *Naive {
+	return &Naive{profiles: profiles, n: s.N()}
+}
+
+// Match implements Matcher. Each predicate evaluation costs one operation;
+// evaluation of a profile stops at its first failing predicate.
+func (m *Naive) Match(vals []float64) ([]int, int) {
+	var matched []int
+	ops := 0
+	for pi, p := range m.profiles {
+		ok := true
+		for attr := 0; attr < m.n; attr++ {
+			if !p.Constrains(attr) {
+				continue
+			}
+			ops++
+			if !p.Pred(attr).Matches(vals[attr]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, pi)
+		}
+	}
+	return matched, ops
+}
+
+// Name implements Matcher.
+func (m *Naive) Name() string { return "naive" }
+
+// --- Counting -----------------------------------------------------------------
+
+// countingIndex is one attribute's sorted bucket index.
+type countingIndex struct {
+	// buckets partition the domain; bucket i covers ivs[i] and satisfies
+	// the predicates of profs[i].
+	ivs   []schema.Interval
+	profs [][]int
+}
+
+// Counting implements the counting algorithm: satisfied predicates bump
+// per-profile counters; a profile matches when its counter reaches its
+// predicate count.
+type Counting struct {
+	s       *schema.Schema
+	indexes []countingIndex
+	// need[p] is the number of constrained attributes of profile p.
+	need []int
+}
+
+// NewCounting builds the per-attribute predicate indexes.
+func NewCounting(s *schema.Schema, profiles []*predicate.Profile) *Counting {
+	m := &Counting{s: s, need: make([]int, len(profiles))}
+	for pi, p := range profiles {
+		for attr := 0; attr < s.N(); attr++ {
+			if p.Constrains(attr) {
+				m.need[pi]++
+			}
+		}
+	}
+	m.indexes = make([]countingIndex, s.N())
+	for attr := 0; attr < s.N(); attr++ {
+		dom := s.At(attr).Domain
+		cons := make([]subrange.Constraint, 0, len(profiles))
+		for pi, p := range profiles {
+			if !p.Constrains(attr) {
+				cons = append(cons, subrange.Constraint{Profile: pi, DontCare: true})
+				continue
+			}
+			cons = append(cons, subrange.Constraint{Profile: pi, Intervals: p.Pred(attr).Intervals(dom)})
+		}
+		dec := subrange.Decompose(dom, cons)
+		idx := countingIndex{}
+		for _, sr := range dec.Subranges {
+			idx.ivs = append(idx.ivs, sr.Iv)
+			idx.profs = append(idx.profs, sr.Profiles)
+		}
+		// Gaps satisfy no predicate; they are represented implicitly.
+		sort.Sort(byLo(idx))
+		m.indexes[attr] = idx
+	}
+	return m
+}
+
+type byLo countingIndex
+
+func (b byLo) Len() int { return len(b.ivs) }
+func (b byLo) Less(i, j int) bool {
+	if b.ivs[i].Lo != b.ivs[j].Lo {
+		return b.ivs[i].Lo < b.ivs[j].Lo
+	}
+	return b.ivs[i].Hi < b.ivs[j].Hi
+}
+func (b byLo) Swap(i, j int) {
+	b.ivs[i], b.ivs[j] = b.ivs[j], b.ivs[i]
+	b.profs[i], b.profs[j] = b.profs[j], b.profs[i]
+}
+
+// Match implements Matcher. Operations: one per binary-search probe while
+// locating the bucket, one per counter increment.
+func (m *Counting) Match(vals []float64) ([]int, int) {
+	counters := make(map[int]int, 16)
+	ops := 0
+	for attr, idx := range m.indexes {
+		bi, probes := locate(idx.ivs, vals[attr])
+		ops += probes
+		if bi < 0 {
+			continue
+		}
+		for _, pi := range idx.profs[bi] {
+			counters[pi]++
+			ops++
+		}
+	}
+	var matched []int
+	for pi, c := range counters {
+		if c == m.need[pi] {
+			matched = append(matched, pi)
+		}
+	}
+	// Profiles with zero constrained attributes (all don't-care) cannot be
+	// registered; profile construction rejects them, so no extra pass.
+	sort.Ints(matched)
+	return matched, ops
+}
+
+// locate binary-searches the sorted disjoint intervals for v.
+func locate(ivs []schema.Interval, v float64) (int, int) {
+	lo, hi := 0, len(ivs)-1
+	probes := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		probes++
+		switch {
+		case ivs[mid].Contains(v):
+			return mid, probes
+		case ivs[mid].Before(v):
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return -1, probes
+}
+
+// Name implements Matcher.
+func (m *Counting) Name() string { return "counting" }
+
+// --- Tree adapter ---------------------------------------------------------------
+
+// Tree adapts a profile tree to the Matcher interface.
+type Tree struct {
+	T *tree.Tree
+}
+
+// Match implements Matcher.
+func (m Tree) Match(vals []float64) ([]int, int) { return m.T.Match(vals) }
+
+// Name implements Matcher.
+func (m Tree) Name() string { return "tree-" + m.T.Strategy().String() }
+
+// Compile-time interface checks.
+var (
+	_ Matcher = (*Naive)(nil)
+	_ Matcher = (*Counting)(nil)
+	_ Matcher = Tree{}
+)

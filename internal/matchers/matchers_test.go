@@ -1,0 +1,244 @@
+package matchers
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/tree"
+)
+
+// randSchema builds a schema with 1–4 attributes of mixed kinds.
+func randSchema(rng *rand.Rand) *schema.Schema {
+	n := 1 + rng.Intn(4)
+	attrs := make([]schema.Attribute, n)
+	for i := range attrs {
+		var d schema.Domain
+		switch rng.Intn(3) {
+		case 0:
+			d, _ = schema.NewNumericDomain(0, 100)
+		case 1:
+			d, _ = schema.NewIntegerDomain(0, 20)
+		default:
+			d, _ = schema.NewCategoricalDomain("a", "b", "c", "d")
+		}
+		attrs[i] = schema.Attribute{Name: fmt.Sprintf("x%d", i), Domain: d}
+	}
+	return schema.MustNew(attrs...)
+}
+
+// randProfile draws a random profile over s with mixed operators.
+func randProfile(s *schema.Schema, id int, rng *rand.Rand) *predicate.Profile {
+	var preds []predicate.Predicate
+	for attr := 0; attr < s.N(); attr++ {
+		dom := s.At(attr).Domain
+		span := dom.Hi() - dom.Lo()
+		pick := func() float64 {
+			v := dom.Lo() + rng.Float64()*span
+			if dom.Kind() != schema.KindNumeric {
+				v = float64(int(v))
+			}
+			return v
+		}
+		switch rng.Intn(7) {
+		case 0:
+			continue // don't-care
+		case 1:
+			pr, _ := predicate.NewComparison(attr, predicate.OpEq, pick())
+			preds = append(preds, pr)
+		case 2:
+			pr, _ := predicate.NewComparison(attr, predicate.OpLe, pick())
+			preds = append(preds, pr)
+		case 3:
+			pr, _ := predicate.NewComparison(attr, predicate.OpGe, pick())
+			preds = append(preds, pr)
+		case 4:
+			a, b := pick(), pick()
+			if a > b {
+				a, b = b, a
+			}
+			pr, _ := predicate.NewRange(attr, a, b)
+			preds = append(preds, pr)
+		case 5:
+			pr, _ := predicate.NewComparison(attr, predicate.OpNe, pick())
+			preds = append(preds, pr)
+		default:
+			vs := []float64{pick(), pick(), pick()}
+			pr, _ := predicate.NewIn(attr, vs...)
+			preds = append(preds, pr)
+		}
+	}
+	p, err := predicate.New(s, predicate.ID(fmt.Sprintf("p%d", id)), preds...)
+	if err != nil {
+		// All attributes fell on don't-care: force one equality.
+		pr, _ := predicate.NewComparison(0, predicate.OpEq, pick0(s, rng))
+		p, _ = predicate.New(s, predicate.ID(fmt.Sprintf("p%d", id)), pr)
+	}
+	return p
+}
+
+func pick0(s *schema.Schema, rng *rand.Rand) float64 {
+	dom := s.At(0).Domain
+	v := dom.Lo() + rng.Float64()*(dom.Hi()-dom.Lo())
+	if dom.Kind() != schema.KindNumeric {
+		v = float64(int(v))
+	}
+	return v
+}
+
+func randEvent(s *schema.Schema, rng *rand.Rand) []float64 {
+	vals := make([]float64, s.N())
+	for i := range vals {
+		dom := s.At(i).Domain
+		v := dom.Lo() + rng.Float64()*(dom.Hi()-dom.Lo())
+		if dom.Kind() != schema.KindNumeric {
+			v = float64(int(v))
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+func sameMatch(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMatcherEquivalence: tree (both search strategies), naive and counting
+// matchers return identical match sets on random workloads. This is the
+// central correctness property of the whole repository.
+func TestMatcherEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		s := randSchema(rng)
+		p := 1 + rng.Intn(40)
+		profiles := make([]*predicate.Profile, p)
+		for i := range profiles {
+			profiles[i] = randProfile(s, i, rng)
+		}
+
+		naive := NewNaive(s, profiles)
+		counting := NewCounting(s, profiles)
+		trLin, err := tree.Build(s, profiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trBin, err := tree.Build(s, profiles, tree.WithSearch(tree.SearchBinary))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trNoStop, err := tree.Build(s, profiles, tree.WithSearch(tree.SearchLinearNoStop))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trInterp, err := tree.Build(s, profiles, tree.WithSearch(tree.SearchInterpolation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trHash, err := tree.Build(s, profiles, tree.WithSearch(tree.SearchHash))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		all := []Matcher{naive, counting, Tree{trLin}, Tree{trBin}, Tree{trNoStop}, Tree{trInterp}, Tree{trHash}}
+		for ev := 0; ev < 120; ev++ {
+			vals := randEvent(s, rng)
+			want, _ := naive.Match(vals)
+			for _, m := range all[1:] {
+				got, ops := m.Match(vals)
+				if !sameMatch(got, want) {
+					t.Fatalf("trial %d: %s disagrees on %v:\n got %v\nwant %v\nschema %s",
+						trial, m.Name(), vals, got, want, s)
+				}
+				if ops < 0 {
+					t.Fatalf("%s: negative ops", m.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestMatcherEquivalenceUnderReordering: applying any value ordering must
+// never change the match result.
+func TestMatcherEquivalenceUnderReordering(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := randSchema(rng)
+	profiles := make([]*predicate.Profile, 25)
+	for i := range profiles {
+		profiles[i] = randProfile(s, i, rng)
+	}
+	naive := NewNaive(s, profiles)
+	tr, err := tree.Build(s, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	orders := []tree.ValueOrder{
+		tree.NaturalOrder(),
+		{Name: "reverse", Rank: func(_ int, r []tree.Interval) float64 { return -r[0].Lo }},
+		{Name: "shuffle", Rank: func(_ int, r []tree.Interval) float64 {
+			h := int64(r[0].Lo*7919) % 97
+			return float64(h)
+		}, Descending: true},
+	}
+	for _, vo := range orders {
+		tr.ApplyValueOrder(vo)
+		for ev := 0; ev < 300; ev++ {
+			vals := randEvent(s, rng)
+			want, _ := naive.Match(vals)
+			got, _ := tr.Match(vals)
+			if !sameMatch(got, want) {
+				t.Fatalf("order %s changed semantics on %v: got %v want %v", vo.Name, vals, got, want)
+			}
+		}
+	}
+}
+
+// TestCountingOpsReasonable: counting ops stay near probes+increments.
+func TestCountingOpsReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := randSchema(rng)
+	profiles := make([]*predicate.Profile, 10)
+	for i := range profiles {
+		profiles[i] = randProfile(s, i, rng)
+	}
+	m := NewCounting(s, profiles)
+	for i := 0; i < 50; i++ {
+		_, ops := m.Match(randEvent(s, rng))
+		if ops <= 0 {
+			t.Fatal("counting reported zero ops")
+		}
+		if ops > 100*s.N() {
+			t.Fatalf("counting ops %d implausibly large", ops)
+		}
+	}
+}
+
+// TestNaiveOpsShortCircuit: the naive matcher stops a profile's evaluation
+// at the first failing predicate.
+func TestNaiveOpsShortCircuit(t *testing.T) {
+	num, _ := schema.NewNumericDomain(0, 100)
+	s := schema.MustNew(
+		schema.Attribute{Name: "a", Domain: num},
+		schema.Attribute{Name: "b", Domain: num},
+	)
+	p := predicate.MustParse(s, "p", "profile(a >= 50; b >= 50)")
+	m := NewNaive(s, []*predicate.Profile{p})
+	_, opsFail := m.Match([]float64{10, 90}) // fails on first predicate
+	if opsFail != 1 {
+		t.Errorf("short-circuit ops = %d, want 1", opsFail)
+	}
+	_, opsMatch := m.Match([]float64{90, 90})
+	if opsMatch != 2 {
+		t.Errorf("full-match ops = %d, want 2", opsMatch)
+	}
+}

@@ -1,0 +1,60 @@
+package predicate
+
+import (
+	"genas/internal/schema"
+)
+
+// Covers reports whether profile p covers profile q: every event matching q
+// also matches p. Covering drives profile propagation in the distributed
+// broker overlay (Siena-style, paper §2): a broker need not propagate q
+// toward a neighbor that already asked for a covering p.
+//
+// p covers q iff for every attribute the value set accepted by q is a subset
+// of the set accepted by p. A don't-care in p accepts everything; a
+// don't-care in q is only covered by a don't-care in p.
+func Covers(s *schema.Schema, p, q *Profile) bool {
+	for attr := 0; attr < s.N(); attr++ {
+		pc, qc := p.Constrains(attr), q.Constrains(attr)
+		if !pc {
+			continue // p accepts every value of this attribute
+		}
+		if !qc {
+			return false // q accepts everything, p does not
+		}
+		dom := s.At(attr).Domain
+		if !intervalsSubset(q.Pred(attr).Intervals(dom), p.Pred(attr).Intervals(dom)) {
+			return false
+		}
+	}
+	return true
+}
+
+// intervalsSubset reports whether the union of qs is contained in the union
+// of ps. Both inputs are disjoint and sorted (canonical predicate form).
+// Because the ps are disjoint, an interval of qs must fit inside a single
+// interval of ps.
+func intervalsSubset(qs, ps []schema.Interval) bool {
+	for _, q := range qs {
+		contained := false
+		for _, p := range ps {
+			if containsInterval(p, q) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			return false
+		}
+	}
+	return true
+}
+
+// containsInterval reports whether p ⊇ q.
+func containsInterval(p, q schema.Interval) bool {
+	if q.Empty() {
+		return true
+	}
+	loOK := p.Lo < q.Lo || (p.Lo == q.Lo && (!p.LoOpen || q.LoOpen))
+	hiOK := p.Hi > q.Hi || (p.Hi == q.Hi && (!p.HiOpen || q.HiOpen))
+	return loOK && hiOK
+}

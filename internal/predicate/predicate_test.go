@@ -1,0 +1,299 @@
+package predicate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genas/internal/schema"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	num, _ := schema.NewNumericDomain(0, 100)
+	grid, _ := schema.NewIntegerDomain(0, 9)
+	cat, _ := schema.NewCategoricalDomain("red", "green", "blue")
+	return schema.MustNew(
+		schema.Attribute{Name: "level", Domain: num},
+		schema.Attribute{Name: "floor", Domain: grid},
+		schema.Attribute{Name: "color", Domain: cat},
+	)
+}
+
+func TestPredicateMatches(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		x    float64
+		want bool
+	}{
+		{Predicate{Op: OpEq, Value: 5}, 5, true},
+		{Predicate{Op: OpEq, Value: 5}, 5.1, false},
+		{Predicate{Op: OpNe, Value: 5}, 5, false},
+		{Predicate{Op: OpNe, Value: 5}, 6, true},
+		{Predicate{Op: OpLt, Value: 5}, 4.999, true},
+		{Predicate{Op: OpLt, Value: 5}, 5, false},
+		{Predicate{Op: OpLe, Value: 5}, 5, true},
+		{Predicate{Op: OpGt, Value: 5}, 5, false},
+		{Predicate{Op: OpGe, Value: 5}, 5, true},
+		{Predicate{Op: OpRange, Value: 3, Hi: 7}, 3, true},
+		{Predicate{Op: OpRange, Value: 3, Hi: 7}, 7, true},
+		{Predicate{Op: OpRange, Value: 3, Hi: 7}, 7.01, false},
+		{Predicate{Op: OpIn, Set: []float64{1, 3, 5}}, 3, true},
+		{Predicate{Op: OpIn, Set: []float64{1, 3, 5}}, 4, false},
+		{Predicate{Op: OpAny}, 123, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.x); got != c.want {
+			t.Errorf("%v.Matches(%g) = %v, want %v", c.p, c.x, got, c.want)
+		}
+	}
+}
+
+// TestIntervalsAgreeWithMatches: the canonical interval form accepts exactly
+// the same values as direct predicate evaluation — the invariant the whole
+// tree construction rests on.
+func TestIntervalsAgreeWithMatches(t *testing.T) {
+	dom, _ := schema.NewNumericDomain(0, 100)
+	rng := rand.New(rand.NewSource(7))
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpRange, OpIn, OpAny}
+	for trial := 0; trial < 500; trial++ {
+		op := ops[rng.Intn(len(ops))]
+		p := Predicate{Attr: 0, Op: op, Value: float64(rng.Intn(101))}
+		switch op {
+		case OpRange:
+			p.Hi = p.Value + float64(rng.Intn(30))
+		case OpIn:
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				p.Set = append(p.Set, float64(rng.Intn(101)))
+			}
+			pp, err := NewIn(0, p.Set...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = pp
+		}
+		ivs := p.Intervals(dom)
+		for probe := 0; probe < 50; probe++ {
+			x := rng.Float64() * 100
+			inIv := false
+			for _, iv := range ivs {
+				if iv.Contains(x) {
+					inIv = true
+					break
+				}
+			}
+			if inIv != p.Matches(x) {
+				t.Fatalf("%v at %g: intervals=%v matches=%v (ivs=%v)", p, x, inIv, p.Matches(x), ivs)
+			}
+		}
+	}
+}
+
+func TestIntervalsClipToDomain(t *testing.T) {
+	dom, _ := schema.NewNumericDomain(10, 20)
+	p := Predicate{Op: OpLe, Value: 5} // entirely below the domain
+	if ivs := p.Intervals(dom); len(ivs) != 0 {
+		t.Errorf("out-of-domain predicate yields %v, want none", ivs)
+	}
+	p = Predicate{Op: OpGe, Value: 0}
+	ivs := p.Intervals(dom)
+	if len(ivs) != 1 || ivs[0].Lo != 10 || ivs[0].Hi != 20 {
+		t.Errorf("clipped = %v", ivs)
+	}
+}
+
+func TestProfileConstruction(t *testing.T) {
+	s := testSchema(t)
+	pr, _ := NewComparison(0, OpGe, 35)
+	p, err := New(s, "p1", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Constrains(0) || p.Constrains(1) || p.Constrains(2) {
+		t.Error("constraint flags wrong")
+	}
+	if !p.Matches([]float64{40, 3, 0}) || p.Matches([]float64{30, 3, 0}) {
+		t.Error("profile matching wrong")
+	}
+
+	if _, err := New(s, "p2"); !errors.Is(err, ErrEmptyProfile) {
+		t.Error("empty profile must error")
+	}
+	if _, err := New(s, "p3", NewAny(0), NewAny(1)); !errors.Is(err, ErrEmptyProfile) {
+		t.Error("all-don't-care profile must error")
+	}
+	if _, err := New(s, "p4", pr, pr); !errors.Is(err, ErrBadPredicate) {
+		t.Error("duplicate attribute must error")
+	}
+	bad, _ := NewComparison(7, OpEq, 1)
+	if _, err := New(s, "p5", bad); !errors.Is(err, ErrBadPredicate) {
+		t.Error("out-of-range attribute must error")
+	}
+}
+
+func TestProfileWeight(t *testing.T) {
+	s := testSchema(t)
+	pr, _ := NewComparison(0, OpGe, 35)
+	p, _ := New(s, "p", pr)
+	if p.Weight() != 1 {
+		t.Errorf("default weight = %g, want 1", p.Weight())
+	}
+	p.Priority = 4
+	if p.Weight() != 4 {
+		t.Errorf("weight = %g, want 4", p.Weight())
+	}
+}
+
+func TestParseProfileLanguage(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		text  string
+		match []float64
+		miss  []float64
+	}{
+		{"profile(level >= 35)", []float64{40, 0, 0}, []float64{30, 0, 0}},
+		{"profile(level in [10,20]; floor = 3)", []float64{15, 3, 0}, []float64{15, 4, 0}},
+		{"profile(color = blue)", []float64{0, 0, 2}, []float64{0, 0, 1}},
+		{"profile(color in {red, blue})", []float64{0, 0, 0}, []float64{0, 0, 1}},
+		{"profile(level != 50)", []float64{49, 0, 0}, []float64{50, 0, 0}},
+		{"profile(level < 10; floor = *)", []float64{5, 9, 0}, []float64{15, 9, 0}},
+		{"level <= 35; floor >= 2", []float64{35, 2, 0}, []float64{36, 2, 0}},
+	}
+	for _, c := range cases {
+		p, err := Parse(s, "t", c.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.text, err)
+		}
+		if !p.Matches(c.match) {
+			t.Errorf("%q must match %v", c.text, c.match)
+		}
+		if p.Matches(c.miss) {
+			t.Errorf("%q must not match %v", c.text, c.miss)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := testSchema(t)
+	for _, bad := range []string{
+		"", "profile()", "profile(level)", "profile(level >= )",
+		"profile(nosuch = 5)", "profile(level in [1])", "profile(level in 5)",
+		"profile(color = mauve)", "profile(level >= 35", "profile(level ~ 5)",
+	} {
+		if _, err := Parse(s, "x", bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	for _, text := range []string{
+		"profile(level >= 35; floor = 3)",
+		"profile(level in [10,20])",
+		"profile(color = blue)",
+	} {
+		p := MustParse(s, "r", text)
+		rendered := p.Render(s)
+		q, err := Parse(s, "r2", rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", rendered, err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 200; i++ {
+			vals := []float64{rng.Float64() * 100, float64(rng.Intn(10)), float64(rng.Intn(3))}
+			if p.Matches(vals) != q.Matches(vals) {
+				t.Fatalf("round-trip changed semantics of %q at %v", text, vals)
+			}
+		}
+	}
+}
+
+func TestCovering(t *testing.T) {
+	s := testSchema(t)
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"profile(level >= 30)", "profile(level >= 35)", true},
+		{"profile(level >= 35)", "profile(level >= 30)", false},
+		{"profile(level >= 30)", "profile(level >= 35; floor = 3)", true},
+		{"profile(level >= 30; floor = 3)", "profile(level >= 35)", false},
+		{"profile(level in [10,50])", "profile(level in [20,30])", true},
+		{"profile(level in [20,30])", "profile(level in [10,50])", false},
+		{"profile(level in [10,50])", "profile(level in [40,60])", false},
+		{"profile(floor = 3)", "profile(floor = 3)", true},
+		{"profile(color in {red, blue})", "profile(color = red)", true},
+		{"profile(color = red)", "profile(color in {red, blue})", false},
+	}
+	for _, c := range cases {
+		p := MustParse(s, "p", c.p)
+		q := MustParse(s, "q", c.q)
+		if got := Covers(s, p, q); got != c.want {
+			t.Errorf("Covers(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestCoveringSoundness: if p covers q, every event matching q matches p.
+func TestCoveringSoundness(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	randProfile := func(id ID) *Profile {
+		var preds []Predicate
+		for attr := 0; attr < s.N(); attr++ {
+			switch rng.Intn(4) {
+			case 0:
+				continue // don't care
+			case 1:
+				pr, _ := NewComparison(attr, OpGe, float64(rng.Intn(50)))
+				preds = append(preds, pr)
+			case 2:
+				lo := float64(rng.Intn(50))
+				pr, _ := NewRange(attr, lo, lo+float64(rng.Intn(40)))
+				preds = append(preds, pr)
+			default:
+				pr, _ := NewComparison(attr, OpLe, float64(rng.Intn(90)))
+				preds = append(preds, pr)
+			}
+		}
+		p, err := New(s, id, preds...)
+		if err != nil {
+			pr, _ := NewComparison(0, OpGe, 10)
+			p, _ = New(s, id, pr)
+		}
+		return p
+	}
+	covered := 0
+	for trial := 0; trial < 400; trial++ {
+		p := randProfile("p")
+		q := randProfile("q")
+		if !Covers(s, p, q) {
+			continue
+		}
+		covered++
+		for i := 0; i < 100; i++ {
+			vals := []float64{rng.Float64() * 100, float64(rng.Intn(10)), float64(rng.Intn(3))}
+			if q.Matches(vals) && !p.Matches(vals) {
+				t.Fatalf("covering unsound: p=%s q=%s at %v", p.Render(s), q.Render(s), vals)
+			}
+		}
+	}
+	if covered == 0 {
+		t.Error("no covering pairs generated; test is vacuous")
+	}
+}
+
+// TestQuickProfileMatchTotal: Matches never panics on arbitrary values.
+func TestQuickProfileMatchTotal(t *testing.T) {
+	s := testSchema(t)
+	p := MustParse(s, "p", "profile(level in [10,20]; floor >= 3)")
+	f := func(a, b, c float64) bool {
+		_ = p.Matches([]float64{a, b, c})
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+package schema
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is a possibly half-open interval over one attribute's numeric
+// axis. Intervals are the canonical form of every predicate: equality tests
+// become point intervals, order comparisons become half-lines clipped to the
+// domain, and set membership becomes a union of point intervals (paper §3:
+// "inequality tests can be translated to range tests").
+type Interval struct {
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Closed returns the closed interval [lo, hi].
+func Closed(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Point returns the degenerate interval [x, x].
+func Point(x float64) Interval { return Interval{Lo: x, Hi: x} }
+
+// CO returns the half-open interval [lo, hi).
+func CO(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi, HiOpen: true} }
+
+// OC returns the half-open interval (lo, hi].
+func OC(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi, LoOpen: true} }
+
+// Open returns the open interval (lo, hi).
+func Open(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi, LoOpen: true, HiOpen: true} }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool {
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi {
+		return iv.LoOpen || iv.HiOpen
+	}
+	return false
+}
+
+// Contains reports whether x lies inside the interval.
+func (iv Interval) Contains(x float64) bool {
+	if x < iv.Lo || x > iv.Hi {
+		return false
+	}
+	if x == iv.Lo && iv.LoOpen {
+		return false
+	}
+	if x == iv.Hi && iv.HiOpen {
+		return false
+	}
+	return true
+}
+
+// Length returns the measure hi−lo (0 for points).
+func (iv Interval) Length() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	r := iv
+	if o.Lo > r.Lo || (o.Lo == r.Lo && o.LoOpen) {
+		r.Lo, r.LoOpen = o.Lo, o.LoOpen
+	}
+	if o.Hi < r.Hi || (o.Hi == r.Hi && o.HiOpen) {
+		r.Hi, r.HiOpen = o.Hi, o.HiOpen
+	}
+	return r
+}
+
+// Overlaps reports whether the two intervals share at least one point.
+func (iv Interval) Overlaps(o Interval) bool { return !iv.Intersect(o).Empty() }
+
+// Before reports whether the interval lies entirely below x.
+func (iv Interval) Before(x float64) bool {
+	return iv.Hi < x || (iv.Hi == x && iv.HiOpen)
+}
+
+// After reports whether the interval lies entirely above x.
+func (iv Interval) After(x float64) bool {
+	return iv.Lo > x || (iv.Lo == x && iv.LoOpen)
+}
+
+// String renders the interval in mathematical notation.
+func (iv Interval) String() string {
+	lb, rb := "[", "]"
+	if iv.LoOpen {
+		lb = "("
+	}
+	if iv.HiOpen {
+		rb = ")"
+	}
+	if iv.Lo == iv.Hi && !iv.LoOpen && !iv.HiOpen {
+		return fmt.Sprintf("{%g}", iv.Lo)
+	}
+	return fmt.Sprintf("%s%g,%g%s", lb, iv.Lo, iv.Hi, rb)
+}
+
+// boundary is an interval endpoint used for sweep-line decomposition.
+type boundary struct {
+	x float64
+	// open marks a boundary that excludes x itself: a lower bound that is
+	// LoOpen, or an upper bound that is HiOpen "closes just below" x.
+	// We normalize both bound flavors into cut positions.
+	openBelow bool
+}
+
+// Cuts returns the sorted distinct cut positions induced by the intervals
+// inside the clipping interval clip. A cut at (x, openBelow) splits the axis
+// between points < x (or ≤ x when openBelow is false) and the rest. The
+// returned cuts always include the clip bounds.
+func Cuts(clip Interval, ivs []Interval) []float64 {
+	set := map[float64]struct{}{clip.Lo: {}, clip.Hi: {}}
+	for _, iv := range ivs {
+		c := iv.Intersect(clip)
+		if c.Empty() {
+			continue
+		}
+		set[c.Lo] = struct{}{}
+		set[c.Hi] = struct{}{}
+	}
+	out := make([]float64, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Union computes the total measure of the union of intervals clipped to clip.
+// Point intervals contribute the atom weight if atom > 0 (integer-grid
+// domains where a point has measure 1), otherwise 0.
+func Union(clip Interval, ivs []Interval, atom float64) float64 {
+	type seg struct{ lo, hi float64 }
+	segs := make([]seg, 0, len(ivs))
+	for _, iv := range ivs {
+		c := iv.Intersect(clip)
+		if c.Empty() {
+			continue
+		}
+		lo, hi := c.Lo, c.Hi
+		if lo == hi {
+			// Point: widen by the atom so it contributes measure.
+			hi = lo + atom
+		} else if atom > 0 {
+			// On an integer grid a closed interval [a,b] holds b−a+1 values.
+			if !c.HiOpen {
+				hi += atom
+			}
+			if c.LoOpen {
+				lo += atom
+			}
+		}
+		if hi > lo {
+			segs = append(segs, seg{lo, hi})
+		}
+	}
+	if len(segs) == 0 {
+		return 0
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].lo < segs[j].lo })
+	total := 0.0
+	curLo, curHi := segs[0].lo, segs[0].hi
+	for _, s := range segs[1:] {
+		if s.lo > curHi {
+			total += curHi - curLo
+			curLo, curHi = s.lo, s.hi
+			continue
+		}
+		if s.hi > curHi {
+			curHi = s.hi
+		}
+	}
+	total += curHi - curLo
+	return total
+}
+
+// AlmostEqual reports whether a and b differ by at most eps in absolute or
+// relative terms. Used by tests and the analytic engine to compare expected
+// operation counts.
+func AlmostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}

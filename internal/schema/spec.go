@@ -1,0 +1,77 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a schema from a compact textual specification, used by
+// the daemon and tools to define the generic service's attributes at
+// runtime:
+//
+//	temperature=numeric[-30,50]; humidity=numeric[0,100]; floor=int[0,12]; state=cat{ok,warn,alarm}
+//
+// Attributes are separated by ';'.
+func ParseSpec(spec string) (*Schema, error) {
+	var attrs []Attribute
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("%w: missing '=' in %q", ErrBadDomain, part)
+		}
+		name := strings.TrimSpace(part[:eq])
+		dspec := strings.TrimSpace(part[eq+1:])
+		dom, err := parseDomainSpec(dspec)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q: %w", name, err)
+		}
+		attrs = append(attrs, Attribute{Name: name, Domain: dom})
+	}
+	return New(attrs...)
+}
+
+func parseDomainSpec(spec string) (Domain, error) {
+	switch {
+	case strings.HasPrefix(spec, "numeric[") && strings.HasSuffix(spec, "]"):
+		lo, hi, err := parseBounds(spec[len("numeric[") : len(spec)-1])
+		if err != nil {
+			return Domain{}, err
+		}
+		return NewNumericDomain(lo, hi)
+	case strings.HasPrefix(spec, "int[") && strings.HasSuffix(spec, "]"):
+		lo, hi, err := parseBounds(spec[len("int[") : len(spec)-1])
+		if err != nil {
+			return Domain{}, err
+		}
+		return NewIntegerDomain(int(lo), int(hi))
+	case strings.HasPrefix(spec, "cat{") && strings.HasSuffix(spec, "}"):
+		labels := strings.Split(spec[len("cat{"):len(spec)-1], ",")
+		for i := range labels {
+			labels[i] = strings.TrimSpace(labels[i])
+		}
+		return NewCategoricalDomain(labels...)
+	default:
+		return Domain{}, fmt.Errorf("%w: unrecognized domain spec %q", ErrBadDomain, spec)
+	}
+}
+
+func parseBounds(body string) (float64, float64, error) {
+	parts := strings.Split(body, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%w: want lo,hi in %q", ErrBadDomain, body)
+	}
+	lo, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad lower bound %q", ErrBadDomain, parts[0])
+	}
+	hi, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: bad upper bound %q", ErrBadDomain, parts[1])
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,6 @@
+package selectivity_test
+
+import "math/rand"
+
+// newRand returns a deterministic PRNG for reproducible tests.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,343 @@
+// Package subrange decomposes one attribute's domain into the disjoint
+// subranges referenced by a set of profiles.
+//
+// Considering profiles for value or range tests, each attribute's domain D is
+// divided into at most (2p−1) subsets referred to in the profiles plus an
+// additional subset D₀ which is not referred to in any profile (paper §3).
+// The subsets are formed from the non-overlapping subranges created from the
+// at most p ranges defined in the p profiles. A profile that does not
+// constrain the attribute (don't-care) references the entire domain, so an
+// attribute with at least one don't-care profile has D₀ = ∅.
+package subrange
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"genas/internal/schema"
+)
+
+// Constraint is one profile's restriction on the attribute under
+// decomposition. Profiles are identified by dense indices assigned by the
+// caller (the filter engine), which keeps profile sets cheap to hash for
+// DFSA state sharing.
+type Constraint struct {
+	// Profile is the dense profile index.
+	Profile int
+	// Intervals is the canonical disjoint interval union of the predicate;
+	// empty means the predicate is unsatisfiable on this domain.
+	Intervals []schema.Interval
+	// DontCare marks profiles that do not constrain this attribute.
+	DontCare bool
+}
+
+// Subrange is one maximal piece of the domain covered by a fixed, non-empty
+// set of constraining profiles.
+type Subrange struct {
+	Iv schema.Interval
+	// Profiles holds the sorted dense indices of the constraining profiles
+	// covering the piece (don't-care profiles are not included here; the
+	// tree adds them to every edge and to the complement edge).
+	Profiles []int
+}
+
+// Decomposition is the full partition of an attribute domain.
+type Decomposition struct {
+	// Subranges are the covered pieces in natural (ascending) order.
+	Subranges []Subrange
+	// Gaps are the uncovered pieces in natural order. They form the
+	// complement region: the (*) edge if don't-care profiles exist, the
+	// zero-subdomain D₀ otherwise.
+	Gaps []schema.Interval
+	// Star holds the sorted indices of don't-care profiles.
+	Star []int
+	// GapSize is the measure of the gaps (length for continuous domains,
+	// atom count for integer/categorical domains).
+	GapSize float64
+	// D0Size is the measure of the zero-subdomain D₀: equal to GapSize when
+	// no profile is don't-care on the attribute, 0 otherwise.
+	D0Size float64
+	// DomainSize is d_j, the attribute's domain size.
+	DomainSize float64
+}
+
+// piece is an elementary fragment during the sweep.
+type piece struct {
+	iv    schema.Interval
+	profs []int
+}
+
+// Decompose partitions dom according to the constraints.
+func Decompose(dom schema.Domain, cons []Constraint) Decomposition {
+	constraining := make([]Constraint, 0, len(cons))
+	var star []int
+	for _, c := range cons {
+		if c.DontCare {
+			star = append(star, c.Profile)
+			continue
+		}
+		constraining = append(constraining, c)
+	}
+	return decompose(dom, constraining, star)
+}
+
+// DecomposeIndexed is Decompose for a pre-indexed constraint table: byProfile
+// is indexed by dense profile id, alive selects the live subset. The tree
+// builder calls this at every automaton state; it avoids materializing a
+// fresh constraint slice per state.
+func DecomposeIndexed(dom schema.Domain, byProfile []Constraint, alive []int) Decomposition {
+	constraining := make([]Constraint, 0, len(alive))
+	var star []int
+	for _, pi := range alive {
+		c := byProfile[pi]
+		if c.DontCare {
+			star = append(star, pi)
+			continue
+		}
+		constraining = append(constraining, c)
+	}
+	return decompose(dom, constraining, star)
+}
+
+func decompose(dom schema.Domain, constraining []Constraint, star []int) Decomposition {
+	dec := Decomposition{DomainSize: dom.Size(), Star: star}
+	clip := dom.Interval()
+	discrete := dom.Kind() == schema.KindInteger || dom.Kind() == schema.KindCategorical
+	sort.Ints(dec.Star)
+
+	if len(constraining) == 0 {
+		// Whole domain is one gap (the (*) region if Star is non-empty).
+		dec.Gaps = []schema.Interval{clip}
+		dec.GapSize = measure(clip, discrete)
+		if len(dec.Star) == 0 {
+			dec.D0Size = dec.GapSize
+		}
+		return dec
+	}
+
+	// Sweep: distinct endpoints induce point pieces and open pieces. Piece
+	// 2i is the point {cuts[i]}, piece 2i+1 the open interval
+	// (cuts[i], cuts[i+1]). Profiles enter and leave at piece indices; runs
+	// of pieces between changes share one profile set, so sets are
+	// materialized once per run instead of once per piece (the naive
+	// per-piece × per-profile scan is quadratic on large corpora).
+	var all []schema.Interval
+	for _, c := range constraining {
+		all = append(all, c.Intervals...)
+	}
+	cuts := schema.Cuts(clip, all)
+	cutIdx := make(map[float64]int, len(cuts))
+	for i, x := range cuts {
+		cutIdx[x] = i
+	}
+	pieces := elementaryPieces(cuts)
+	nPieces := len(pieces)
+
+	addEv := make([][]int, nPieces+1)
+	remEv := make([][]int, nPieces+1)
+	for _, c := range constraining {
+		for _, iv := range c.Intervals {
+			civ := iv.Intersect(clip)
+			if civ.Empty() {
+				continue
+			}
+			i, ok1 := cutIdx[civ.Lo]
+			j, ok2 := cutIdx[civ.Hi]
+			if !ok1 || !ok2 {
+				continue // defensive: endpoints are cuts by construction
+			}
+			start := 2 * i
+			if civ.LoOpen {
+				start++
+			}
+			end := 2 * j
+			if civ.HiOpen {
+				end--
+			}
+			if end < start {
+				continue
+			}
+			addEv[start] = append(addEv[start], c.Profile)
+			remEv[end+1] = append(remEv[end+1], c.Profile)
+		}
+	}
+
+	classified := make([]piece, 0, nPieces)
+	active := make(map[int]struct{})
+	var runSet []int
+	dirty := true
+	for pi, iv := range pieces {
+		if len(addEv[pi]) > 0 || len(remEv[pi]) > 0 {
+			for _, p := range addEv[pi] {
+				active[p] = struct{}{}
+			}
+			for _, p := range remEv[pi] {
+				delete(active, p)
+			}
+			dirty = true
+		}
+		if dirty {
+			runSet = make([]int, 0, len(active))
+			for p := range active {
+				runSet = append(runSet, p)
+			}
+			sort.Ints(runSet)
+			dirty = false
+		}
+		classified = append(classified, piece{iv: iv, profs: runSet})
+	}
+
+	// On discrete domains, drop pieces containing no atom (e.g. the open
+	// interval (3,4) on an integer grid) and snap the survivors to closed
+	// atom-aligned intervals so that grid adjacency is visible to merging.
+	if discrete {
+		kept := classified[:0]
+		for _, p := range classified {
+			lo, hi, n := atomBounds(p.iv)
+			if n == 0 {
+				continue
+			}
+			p.iv = schema.Closed(lo, hi)
+			kept = append(kept, p)
+		}
+		classified = kept
+	}
+
+	// Merge adjacent pieces with identical profile sets (this produces the
+	// single [30,50] edge when only one profile with a1 ≥ 30 is alive).
+	merged := mergeAdjacent(classified, discrete)
+
+	for _, p := range merged {
+		if len(p.profs) == 0 {
+			dec.Gaps = append(dec.Gaps, p.iv)
+			dec.GapSize += measure(p.iv, discrete)
+			continue
+		}
+		dec.Subranges = append(dec.Subranges, Subrange{Iv: p.iv, Profiles: p.profs})
+	}
+	if len(dec.Star) == 0 {
+		dec.D0Size = dec.GapSize
+	}
+	return dec
+}
+
+// elementaryPieces splits the domain at the cut positions into alternating
+// point and open pieces: {c0} (c0,c1) {c1} (c1,c2) … {ck}.
+func elementaryPieces(cuts []float64) []schema.Interval {
+	out := make([]schema.Interval, 0, 2*len(cuts)+1)
+	for i, x := range cuts {
+		out = append(out, schema.Point(x))
+		if i+1 < len(cuts) {
+			op := schema.Open(x, cuts[i+1])
+			if !op.Empty() {
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}
+
+// atomBounds returns the first and last integer inside the interval and the
+// atom count.
+func atomBounds(iv schema.Interval) (lo, hi, n float64) {
+	lo = math.Ceil(iv.Lo)
+	if iv.LoOpen && lo == iv.Lo {
+		lo++
+	}
+	hi = math.Floor(iv.Hi)
+	if iv.HiOpen && hi == iv.Hi {
+		hi--
+	}
+	if hi < lo {
+		return 0, 0, 0
+	}
+	return lo, hi, hi - lo + 1
+}
+
+// atomCount counts integers inside the interval.
+func atomCount(iv schema.Interval) float64 {
+	_, _, n := atomBounds(iv)
+	return n
+}
+
+// measure returns the paper's size of a piece: atom count on discrete
+// domains, interval length on continuous ones.
+func measure(iv schema.Interval, discrete bool) float64 {
+	if discrete {
+		return atomCount(iv)
+	}
+	return iv.Length()
+}
+
+func sameProfiles(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeAdjacent joins touching pieces with equal profile sets.
+func mergeAdjacent(in []piece, discrete bool) []piece {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]piece, 0, len(in))
+	cur := in[0]
+	for _, p := range in[1:] {
+		if sameProfiles(cur.profs, p.profs) && touches(cur.iv, p.iv, discrete) {
+			cur.iv = join(cur.iv, p.iv)
+			continue
+		}
+		out = append(out, cur)
+		cur = p
+	}
+	out = append(out, cur)
+	return out
+}
+
+// touches reports whether b continues a with no domain value between them.
+func touches(a, b schema.Interval, discrete bool) bool {
+	if discrete {
+		// Atom-aligned closed intervals are contiguous when b starts on the
+		// next grid point (the open gap between them held no atom).
+		return b.Lo == a.Hi+1 || b.Lo == a.Hi
+	}
+	if a.Hi != b.Lo {
+		return false
+	}
+	// If both sides exclude the shared endpoint the single point a.Hi would
+	// be lost, so at least one side must be closed.
+	return !a.HiOpen || !b.LoOpen
+}
+
+func join(a, b schema.Interval) schema.Interval {
+	return schema.Interval{Lo: a.Lo, LoOpen: a.LoOpen, Hi: b.Hi, HiOpen: b.HiOpen}
+}
+
+// Key builds a canonical string key of a profile set for DFSA state sharing.
+// It is on the tree-construction hot path.
+func Key(profs []int) string {
+	buf := make([]byte, 0, 8*len(profs))
+	for i, p := range profs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(p), 10)
+	}
+	return string(buf)
+}
+
+// MaxSubranges returns the paper's bound 2p−1 on the number of covered
+// subranges produced by p single-interval profiles (p ≥ 1).
+func MaxSubranges(p int) int {
+	if p < 1 {
+		return 0
+	}
+	return 2*p - 1
+}

@@ -1,0 +1,137 @@
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"genas/internal/schema"
+)
+
+// Interval aliases schema.Interval so bucket regions read naturally in the
+// exported ordering and analytics APIs.
+type Interval = schema.Interval
+
+// RankFunc scores one bucket region of an attribute for value reordering.
+// The region of a complement edge is the union of several intervals; all
+// other buckets are single intervals. Higher scores sort earlier when the
+// order is descending.
+//
+// The selectivity package supplies rank functions for the paper's measures:
+// natural order, V1 (event probability P_e), V2 (profile probability P_p)
+// and V3 (P_e·P_p).
+type RankFunc func(attr int, region []Interval) float64
+
+// ValueOrder describes one of the paper's value orderings: a scoring
+// function plus a direction ("The prototype supports the following value
+// orders (either descending or ascending)", §4.2).
+type ValueOrder struct {
+	Name string
+	Rank RankFunc
+	// Descending scans high scores first (the usual choice for the
+	// probability measures V1–V3).
+	Descending bool
+}
+
+// NaturalOrder returns the ascending natural order implied by the domain.
+func NaturalOrder() ValueOrder {
+	return ValueOrder{
+		Name: "natural",
+		Rank: func(_ int, region []Interval) float64 { return regionLo(region) },
+	}
+}
+
+// regionLo returns the smallest lower bound of a region.
+func regionLo(region []Interval) float64 {
+	lo := math.Inf(1)
+	for _, iv := range region {
+		if iv.Lo < lo {
+			lo = iv.Lo
+		}
+	}
+	return lo
+}
+
+// applyNaturalOrder initializes every node with the natural ascending order.
+func (t *Tree) applyNaturalOrder() {
+	t.ApplyValueOrder(NaturalOrder())
+}
+
+// ApplyValueOrder recomputes every node's defined order: the lookup-table
+// positions over all buckets (including D₀ gaps, which non-matching events
+// would occupy — Example 2 ranks the zero-subdomain region x₀ alongside the
+// stored values) and the edge scan order. Structure is untouched; this is
+// the cheap half of restructuring (the expensive half, attribute reordering,
+// requires Build with a different order).
+func (t *Tree) ApplyValueOrder(vo ValueOrder) {
+	for _, level := range t.levels {
+		for _, n := range level {
+			n.applyOrder(vo)
+		}
+	}
+}
+
+// applyOrder ranks the node's buckets and rebuilds scan/orderPos.
+func (n *Node) applyOrder(vo ValueOrder) {
+	type scored struct {
+		score float64
+		// natural tiebreak position
+		nat int
+		// region indices: which buckets form the entry. Subrange and gap
+		// buckets are singletons; all complement pieces form one entry.
+		buckets []int
+		edge    int
+	}
+	entries := make([]scored, 0, len(n.buckets))
+	var complementPieces []int
+	complementEdge := -1
+	for bi, b := range n.buckets {
+		if b.edge >= 0 && n.edges[b.edge].Kind != EdgeSubrange {
+			complementPieces = append(complementPieces, bi)
+			complementEdge = b.edge
+			continue
+		}
+		entries = append(entries, scored{nat: bi, buckets: []int{bi}, edge: b.edge})
+	}
+	if complementEdge >= 0 {
+		entries = append(entries, scored{nat: len(n.buckets), buckets: complementPieces, edge: complementEdge})
+	}
+
+	for i := range entries {
+		region := make([]Interval, len(entries[i].buckets))
+		for j, bi := range entries[i].buckets {
+			region[j] = n.buckets[bi].iv
+		}
+		entries[i].score = vo.Rank(n.Attr, region)
+	}
+
+	sort.SliceStable(entries, func(i, j int) bool {
+		si, sj := entries[i].score, entries[j].score
+		if si != sj {
+			if vo.Descending {
+				return si > sj
+			}
+			return si < sj
+		}
+		// "The order of values with equal selectivity is arbitrary (such as
+		// the natural order of the values)."
+		return entries[i].nat < entries[j].nat
+	})
+
+	n.orderPos = make([]int, len(n.edges))
+	n.scan = n.scan[:0]
+	for pos, e := range entries {
+		for _, bi := range e.buckets {
+			n.buckets[bi].orderPos = pos + 1
+		}
+		if e.edge >= 0 {
+			n.orderPos[e.edge] = pos + 1
+			n.scan = append(n.scan, e.edge)
+		}
+	}
+}
+
+// ScanOrder returns the edge indices in scan order (copy).
+func (n *Node) ScanOrder() []int { return append([]int(nil), n.scan...) }
+
+// OrderPositions returns the defined-order position of every edge (copy).
+func (n *Node) OrderPositions() []int { return append([]int(nil), n.orderPos...) }

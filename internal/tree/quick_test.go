@@ -1,0 +1,178 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+)
+
+// corpus is a quick.Generator producing random profile corpora over a fixed
+// two-attribute integer schema together with probe values. Using a custom
+// generator keeps the search space inside the domain where matching is
+// meaningful.
+type corpus struct {
+	ranges [][4]int // attr0 lo/hi, attr1 lo/hi per profile (−1 lo = don't care)
+	probes [][2]int
+}
+
+const quickDomainHi = 30
+
+// Generate implements quick.Generator.
+func (corpus) Generate(r *rand.Rand, size int) reflect.Value {
+	if size < 1 {
+		size = 1
+	}
+	c := corpus{}
+	n := 1 + r.Intn(size%20+5)
+	for i := 0; i < n; i++ {
+		var e [4]int
+		for a := 0; a < 2; a++ {
+			if r.Intn(4) == 0 {
+				e[2*a] = -1 // don't care
+				continue
+			}
+			lo := r.Intn(quickDomainHi)
+			e[2*a] = lo
+			e[2*a+1] = lo + r.Intn(quickDomainHi-lo+1)
+		}
+		if e[0] == -1 && e[2] == -1 {
+			e[0], e[1] = 3, 7 // keep the profile satisfiable and non-empty
+		}
+		c.ranges = append(c.ranges, e)
+	}
+	for i := 0; i < 40; i++ {
+		c.probes = append(c.probes, [2]int{r.Intn(quickDomainHi + 1), r.Intn(quickDomainHi + 1)})
+	}
+	return reflect.ValueOf(c)
+}
+
+var _ quick.Generator = corpus{}
+
+// TestQuickTreeEquivalence: for arbitrary generated corpora, the automaton
+// agrees with direct predicate evaluation under every search strategy.
+func TestQuickTreeEquivalence(t *testing.T) {
+	d, err := schema.NewIntegerDomain(0, quickDomainHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.MustNew(
+		schema.Attribute{Name: "x", Domain: d},
+		schema.Attribute{Name: "y", Domain: d},
+	)
+	check := func(c corpus) bool {
+		profiles := make([]*predicate.Profile, 0, len(c.ranges))
+		for i, e := range c.ranges {
+			var preds []predicate.Predicate
+			if e[0] >= 0 {
+				pr, err := predicate.NewRange(0, float64(e[0]), float64(e[1]))
+				if err != nil {
+					return false
+				}
+				preds = append(preds, pr)
+			}
+			if e[2] >= 0 {
+				pr, err := predicate.NewRange(1, float64(e[2]), float64(e[3]))
+				if err != nil {
+					return false
+				}
+				preds = append(preds, pr)
+			}
+			p, err := predicate.New(s, predicate.ID(fmt.Sprintf("q%d", i)), preds...)
+			if err != nil {
+				return false
+			}
+			profiles = append(profiles, p)
+		}
+		for _, strategy := range []Search{SearchLinear, SearchBinary, SearchInterpolation, SearchHash} {
+			tr, err := Build(s, profiles, WithSearch(strategy))
+			if err != nil {
+				return false
+			}
+			for _, probe := range c.probes {
+				vals := []float64{float64(probe[0]), float64(probe[1])}
+				matched, ops := tr.Match(vals)
+				if ops < 0 {
+					return false
+				}
+				got := make(map[int]bool, len(matched))
+				for _, pi := range matched {
+					got[pi] = true
+				}
+				for pi, p := range profiles {
+					if p.Matches(vals) != got[pi] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderPositionsArePermutation: for arbitrary rank functions the
+// defined-order positions over a node's buckets form the range 1..k.
+func TestQuickOrderPositionsArePermutation(t *testing.T) {
+	d, err := schema.NewIntegerDomain(0, quickDomainHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := schema.MustNew(schema.Attribute{Name: "x", Domain: d})
+	rng := rand.New(rand.NewSource(5))
+	var values [][]int
+	for i := 0; i < 20; i++ {
+		values = append(values, []int{rng.Intn(quickDomainHi + 1)})
+	}
+	profiles := make([]*predicate.Profile, len(values))
+	for i, v := range values {
+		pr, err := predicate.NewComparison(0, predicate.OpEq, float64(v[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[i], err = predicate.New(s, predicate.ID(fmt.Sprintf("p%d", i)), pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := Build(s, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(seed int64, desc bool) bool {
+		h := rand.New(rand.NewSource(seed))
+		salt := h.Float64() * 100
+		tr.ApplyValueOrder(ValueOrder{
+			Name:       "quick",
+			Descending: desc,
+			Rank: func(_ int, region []Interval) float64 {
+				return math.Mod(region[0].Lo*salt, 13)
+			},
+		})
+		root := tr.Root()
+		// Edge positions must be distinct and within 1..#buckets-ish; the
+		// scan must visit every edge exactly once in increasing position.
+		if !root.scanPositionsIncreasing() {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, pos := range root.OrderPositions() {
+			if pos < 1 || seen[pos] {
+				return false
+			}
+			seen[pos] = true
+		}
+		return len(seen) == len(root.Edges())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

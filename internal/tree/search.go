@@ -1,0 +1,257 @@
+package tree
+
+import (
+	"sort"
+)
+
+// Operation counting convention (calibrated against the paper's Examples 2–5,
+// see EXPERIMENTS.md):
+//
+//   - examining one edge during the ordered linear scan costs 1 operation,
+//     whatever its kind (subrange, complement "(*)", or don't-care "*");
+//   - the scan stops early by the lookup-table rule of Example 5: once an
+//     edge with a defined-order position greater than the searched value's
+//     position has been examined, the value cannot be in the node;
+//   - each binary-search probe costs 1 operation; taking the complement or
+//     star edge after the probes costs 1 more (the edge must still be
+//     tested), matching the linear convention where those edges occupy a
+//     scan slot.
+//
+// Locating the searched value's bucket (the "lookup table" consultation) is
+// bookkeeping and costs nothing, as in the paper's prototype.
+
+// bucketOf returns the index of the bucket containing v (every domain value
+// is in exactly one bucket). Returns −1 for values outside the domain.
+func (n *Node) bucketOf(v float64) int {
+	lo, hi := 0, len(n.buckets)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		b := n.buckets[mid].iv
+		switch {
+		case b.Contains(v):
+			return mid
+		case b.Before(v):
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return -1
+}
+
+// step runs the node's search for value v and returns the chosen edge index
+// (−1 for a non-match) and the operations spent.
+func (n *Node) step(v float64, strategy Search) (edge, ops int) {
+	bi := n.bucketOf(v)
+	if bi < 0 {
+		// Outside the domain: reject without touching the structure.
+		return -1, 0
+	}
+	target := n.buckets[bi]
+	return n.dispatch(target, strategy)
+}
+
+// dispatch routes one located bucket through the configured strategy.
+func (n *Node) dispatch(target bucket, strategy Search) (int, int) {
+	switch strategy {
+	case SearchBinary:
+		return n.stepBinary(target)
+	case SearchInterpolation:
+		return n.stepInterpolation(target)
+	case SearchHash:
+		return n.stepHash(target)
+	case SearchLinearNoStop:
+		return n.stepLinear(target, false)
+	default:
+		return n.stepLinear(target, true)
+	}
+}
+
+// stepLinear scans edges in defined order. The early-termination rule
+// compares defined-order positions via the lookup table (Example 5).
+func (n *Node) stepLinear(target bucket, earlyStop bool) (int, int) {
+	ops := 0
+	for _, ei := range n.scan {
+		ops++
+		if ei == target.edge {
+			return ei, ops
+		}
+		if earlyStop && n.orderPos[ei] > target.orderPos {
+			// The examined edge already lies past the searched value in the
+			// defined order: the node cannot contain it.
+			return -1, ops
+		}
+	}
+	return -1, ops
+}
+
+// stepBinary performs binary search over the naturally ordered subrange
+// edges; a miss falls through to the complement/star edge when present.
+func (n *Node) stepBinary(target bucket) (int, int) {
+	ops := 0
+	lo, hi := 0, n.nSubrange-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		ops++
+		e := &n.edges[mid]
+		switch {
+		case target.edge == mid:
+			return mid, ops
+		case edgeBelowTarget(e, target):
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	// Not among the subranges: take the trailing complement/star edge if one
+	// exists (one more operation to test it).
+	return n.missTail(target, ops)
+}
+
+// missTail resolves a failed subrange search: the trailing complement or
+// star edge, if any, is tested for one more operation.
+func (n *Node) missTail(target bucket, ops int) (int, int) {
+	if n.nSubrange < len(n.edges) {
+		ops++
+		ei := len(n.edges) - 1
+		if target.edge == ei {
+			return ei, ops
+		}
+		return -1, ops
+	}
+	return -1, ops
+}
+
+// edgeBelowTarget reports whether subrange edge e lies entirely below the
+// target bucket on the natural axis.
+func edgeBelowTarget(e *Edge, target bucket) bool {
+	return e.Iv.Hi < target.iv.Lo ||
+		(e.Iv.Hi == target.iv.Lo && (e.Iv.HiOpen || target.iv.LoOpen))
+}
+
+// stepInterpolation performs interpolation search over the naturally
+// ordered subrange edges, probing by linear position estimate on the edge
+// lower bounds (the classic sub-logarithmic strategy for near-uniform
+// layouts; paper §5 outlook).
+func (n *Node) stepInterpolation(target bucket) (int, int) {
+	ops := 0
+	lo, hi := 0, n.nSubrange-1
+	key := target.iv.Lo
+	for lo <= hi {
+		var mid int
+		loKey, hiKey := n.edges[lo].Iv.Lo, n.edges[hi].Iv.Lo
+		if hiKey <= loKey || key <= loKey {
+			mid = lo
+		} else if key >= hiKey {
+			mid = hi
+		} else {
+			mid = lo + int(float64(hi-lo)*(key-loKey)/(hiKey-loKey))
+			if mid < lo {
+				mid = lo
+			}
+			if mid > hi {
+				mid = hi
+			}
+		}
+		ops++
+		e := &n.edges[mid]
+		switch {
+		case target.edge == mid:
+			return mid, ops
+		case edgeBelowTarget(e, target):
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return n.missTail(target, ops)
+}
+
+// stepHash models an idealized hash lookup. On discrete domains a per-value
+// table resolves any bucket — subrange edge, complement piece or gap — in a
+// single probe. Continuous domains cannot hash raw values; the strategy
+// degrades to binary search there.
+func (n *Node) stepHash(target bucket) (int, int) {
+	if !n.discrete {
+		return n.stepBinary(target)
+	}
+	if target.edge >= 0 {
+		return target.edge, 1
+	}
+	return -1, 1
+}
+
+// Match filters one event (values indexed by schema attribute) through the
+// automaton. It returns the dense indices of all matched profiles and the
+// number of comparison operations spent. The returned slice aliases tree
+// internals and must not be mutated.
+func (t *Tree) Match(vals []float64) (matched []int, ops int) {
+	n := t.root
+	for {
+		v := vals[n.Attr]
+		ei, stepOps := n.step(v, t.strategy)
+		ops += stepOps
+		if ei < 0 {
+			return nil, ops
+		}
+		e := &n.edges[ei]
+		if e.Child == nil {
+			return e.Leaf, ops
+		}
+		n = e.Child
+	}
+}
+
+// MatchPath is Match but additionally reports the per-level operations,
+// which the per-profile accounting of Fig. 5(b) needs.
+func (t *Tree) MatchPath(vals []float64) (matched []int, ops int, perLevel []int) {
+	perLevel = make([]int, 0, t.schema.N())
+	n := t.root
+	for {
+		v := vals[n.Attr]
+		ei, stepOps := n.step(v, t.strategy)
+		ops += stepOps
+		perLevel = append(perLevel, stepOps)
+		if ei < 0 {
+			return nil, ops, perLevel
+		}
+		e := &n.edges[ei]
+		if e.Child == nil {
+			return e.Leaf, ops, perLevel
+		}
+		n = e.Child
+	}
+}
+
+// Bucket is the read-only view of one domain piece at a node, used by the
+// analytic evaluator (selectivity package) so that analytic and empirical
+// operation counts share one cost model.
+type Bucket struct {
+	Iv   Interval
+	Edge int // index into Node.Edges(), or −1 for a D₀ gap
+}
+
+// Buckets returns the node's natural-order domain partition.
+func (n *Node) Buckets() []Bucket {
+	out := make([]Bucket, len(n.buckets))
+	for i, b := range n.buckets {
+		out[i] = Bucket{Iv: b.iv, Edge: b.edge}
+	}
+	return out
+}
+
+// CostOf returns the operations the given strategy spends on an event whose
+// value falls into bucket bi, without walking the tree. It shares the
+// search implementations with step, so analytic and empirical costs agree
+// by construction.
+func (n *Node) CostOf(bi int, strategy Search) (edge, ops int) {
+	return n.dispatch(n.buckets[bi], strategy)
+}
+
+// sortBucketsByPos re-sorts nothing but validates that scan positions are
+// strictly increasing along the scan order; used by tests.
+func (n *Node) scanPositionsIncreasing() bool {
+	return sort.SliceIsSorted(n.scan, func(i, j int) bool {
+		return n.orderPos[n.scan[i]] < n.orderPos[n.scan[j]]
+	})
+}

@@ -1,0 +1,442 @@
+// Package tree implements the profile tree: the deterministic finite state
+// automaton built from a profile set that the paper's filtering is based on
+// (§3, following Gough & Smith [8] and Aguilera et al. [1]).
+//
+// The tree has height n (one level per attribute). Each level corresponds to
+// one attribute after attribute reordering; edges at a node carry the
+// disjoint subranges referenced by the profiles still alive on that path.
+// Profiles that do not constrain the level's attribute ride along every edge
+// and additionally along the complement edge "(*)" covering the unreferenced
+// remainder of the domain; if no alive profile constrains the attribute the
+// node has the single don't-care edge "*". For an observed event there is a
+// single path to follow (edges are disjoint), ending in a leaf that lists the
+// matched profiles.
+//
+// Equivalent states are shared: two paths whose alive profile sets coincide
+// at the same level point to the same node, which keeps the automaton
+// polynomial in practice even for tens of thousands of profiles.
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/subrange"
+)
+
+// Search selects the within-node search strategy (paper §4.2 implements two:
+// following the edges in the defined order, and binary search on the natural
+// order).
+type Search int
+
+// Search strategies. SearchLinear uses the lookup-table early-termination
+// rule of Example 5; SearchLinearNoStop scans every edge (ablation);
+// SearchBinary performs binary search over the naturally ordered subranges.
+// SearchInterpolation and SearchHash realize the further strategies the
+// paper's outlook proposes ("binary-, interpolation-, or hash-based search
+// within attribute-values", §5): interpolation search probes by linear
+// position estimate; hash search models an idealized per-value lookup table
+// on discrete domains (one operation per node) and degrades to binary
+// search on continuous domains, where hashing values is not applicable.
+const (
+	SearchLinear Search = iota + 1
+	SearchLinearNoStop
+	SearchBinary
+	SearchInterpolation
+	SearchHash
+)
+
+// String names the strategy in experiment tables.
+func (s Search) String() string {
+	switch s {
+	case SearchLinear:
+		return "linear"
+	case SearchLinearNoStop:
+		return "linear-nostop"
+	case SearchBinary:
+		return "binary"
+	case SearchInterpolation:
+		return "interpolation"
+	case SearchHash:
+		return "hash"
+	default:
+		return "Search(" + strconv.Itoa(int(s)) + ")"
+	}
+}
+
+// Errors returned by tree construction.
+var (
+	ErrNoProfiles = errors.New("tree: no profiles")
+	ErrBadOrder   = errors.New("tree: attribute order is not a permutation")
+)
+
+// EdgeKind discriminates edge flavors.
+type EdgeKind int
+
+// Edge kinds. A subrange edge tests one interval; the complement edge "(*)"
+// covers every unreferenced region for don't-care profiles; the star edge "*"
+// is the sole edge of a node whose alive profiles all leave the attribute
+// unspecified.
+const (
+	EdgeSubrange EdgeKind = iota + 1
+	EdgeComplement
+	EdgeStar
+)
+
+// Edge is one labeled transition of the automaton.
+type Edge struct {
+	Kind EdgeKind
+	// Iv is the subrange of a EdgeSubrange edge (unused for the others).
+	Iv schema.Interval
+	// Profiles are the dense indices of profiles continuing through the
+	// edge (constraining profiles plus riders for subrange edges).
+	Profiles []int
+	// Child is the next level's node (nil only at the leaf level, where
+	// Leaf holds the match set).
+	Child *Node
+	// Leaf holds the matched profile indices when the edge leaves the last
+	// level.
+	Leaf []int
+}
+
+// bucket is one piece of the domain partition at a node, in natural order.
+// Buckets cover the entire domain: subrange edges, complement pieces (mapped
+// to the complement edge) and D₀ gaps (edge == -1).
+type bucket struct {
+	iv   schema.Interval
+	edge int // index into Node.edges, or -1 for a D₀ gap
+	// orderPos is the bucket's 1-based position in the defined order; the
+	// lookup table of §4.2 ("the table contains a position for each
+	// element").
+	orderPos int
+}
+
+// Node is one automaton state.
+type Node struct {
+	// Level is the 0-based tree level; Attr the schema attribute tested.
+	Level int
+	Attr  int
+	edges []Edge
+	// buckets is the natural-order partition of the whole domain.
+	buckets []bucket
+	// scan lists edge indices in defined (scan) order.
+	scan []int
+	// orderPos[i] is the defined-order position of edges[i].
+	orderPos []int
+	// nSubrange counts the leading subrange edges (edges[:nSubrange] are in
+	// natural ascending order; a complement or star edge follows, if any).
+	nSubrange int
+	// discrete marks integer/categorical attribute domains, where hash
+	// search can index individual values.
+	discrete bool
+	// key is the memoization key (level + alive profile set).
+	key string
+}
+
+// Edges exposes the node's edges (shared slice; callers must not mutate).
+func (n *Node) Edges() []Edge { return n.edges }
+
+// Tree is the profile tree plus its search configuration.
+type Tree struct {
+	schema    *schema.Schema
+	profiles  []*predicate.Profile
+	attrOrder []int // attrOrder[level] = schema attribute index
+	root      *Node
+	levels    [][]*Node // unique (shared) nodes per level
+	strategy  Search
+	// cons caches canonical constraints per attribute and profile during
+	// construction; nil afterwards.
+	cons [][]subrange.Constraint
+
+	nodes  int
+	edges  int
+	shared int // memoization hits during construction
+}
+
+// Option configures tree construction.
+type Option func(*config)
+
+type config struct {
+	attrOrder []int
+	strategy  Search
+}
+
+// WithAttributeOrder builds the tree with the given attribute order:
+// order[level] is the schema attribute tested at that level.
+func WithAttributeOrder(order []int) Option {
+	return func(c *config) { c.attrOrder = append([]int(nil), order...) }
+}
+
+// WithSearch selects the within-node search strategy (default SearchLinear).
+func WithSearch(s Search) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// Build constructs the profile tree for the given profiles.
+func Build(s *schema.Schema, profiles []*predicate.Profile, opts ...Option) (*Tree, error) {
+	if len(profiles) == 0 {
+		return nil, ErrNoProfiles
+	}
+	cfg := config{strategy: SearchLinear}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.attrOrder == nil {
+		cfg.attrOrder = make([]int, s.N())
+		for i := range cfg.attrOrder {
+			cfg.attrOrder[i] = i
+		}
+	}
+	if !isPermutation(cfg.attrOrder, s.N()) {
+		return nil, fmt.Errorf("%w: %v", ErrBadOrder, cfg.attrOrder)
+	}
+
+	t := &Tree{
+		schema:    s,
+		profiles:  profiles,
+		attrOrder: cfg.attrOrder,
+		strategy:  cfg.strategy,
+		levels:    make([][]*Node, s.N()),
+	}
+
+	// Canonical intervals are cached per (profile, attribute): the builder
+	// consults them at every node of the shared automaton.
+	t.cons = make([][]subrange.Constraint, s.N())
+	for attr := 0; attr < s.N(); attr++ {
+		dom := s.At(attr).Domain
+		t.cons[attr] = make([]subrange.Constraint, len(profiles))
+		for pi, p := range profiles {
+			if !p.Constrains(attr) {
+				t.cons[attr][pi] = subrange.Constraint{Profile: pi, DontCare: true}
+				continue
+			}
+			t.cons[attr][pi] = subrange.Constraint{
+				Profile:   pi,
+				Intervals: p.Pred(attr).Intervals(dom),
+			}
+		}
+	}
+
+	all := make([]int, len(profiles))
+	for i := range profiles {
+		all[i] = i
+	}
+	memo := make(map[string]*Node)
+	t.root = t.build(all, 0, memo)
+	t.cons = nil // construction-only cache
+	t.applyNaturalOrder()
+	return t, nil
+}
+
+func isPermutation(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, a := range order {
+		if a < 0 || a >= n || seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	return true
+}
+
+// build returns the (possibly shared) node for the alive profile set at the
+// given level.
+func (t *Tree) build(alive []int, level int, memo map[string]*Node) *Node {
+	key := strconv.Itoa(level) + "|" + subrange.Key(alive)
+	if n, ok := memo[key]; ok {
+		t.shared++
+		return n
+	}
+
+	attr := t.attrOrder[level]
+	dom := t.schema.At(attr).Domain
+	dec := subrange.DecomposeIndexed(dom, t.cons[attr], alive)
+
+	n := &Node{
+		Level:    level,
+		Attr:     attr,
+		key:      key,
+		discrete: dom.Kind() != schema.KindNumeric,
+	}
+	last := level == t.schema.N()-1
+
+	// Subrange edges in natural order; don't-care profiles ride along.
+	for _, sr := range dec.Subranges {
+		profs := unionSorted(sr.Profiles, dec.Star)
+		e := Edge{Kind: EdgeSubrange, Iv: sr.Iv, Profiles: profs}
+		t.descend(&e, profs, level, last, memo)
+		n.edges = append(n.edges, e)
+	}
+	n.nSubrange = len(n.edges)
+
+	switch {
+	case len(dec.Subranges) == 0 && len(dec.Star) > 0:
+		// Pure don't-care node: single star edge over the whole domain.
+		e := Edge{Kind: EdgeStar, Iv: dom.Interval(), Profiles: dec.Star}
+		t.descend(&e, dec.Star, level, last, memo)
+		n.edges = append(n.edges, e)
+		n.buckets = []bucket{{iv: dom.Interval(), edge: len(n.edges) - 1}}
+	case len(dec.Star) > 0 && len(dec.Gaps) > 0:
+		// Complement edge (*) for the riders across every gap piece.
+		e := Edge{Kind: EdgeComplement, Profiles: dec.Star}
+		t.descend(&e, dec.Star, level, last, memo)
+		n.edges = append(n.edges, e)
+		n.buckets = mergeBuckets(dec, len(n.edges)-1)
+	default:
+		// Gaps (if any) are D₀: non-match regions.
+		n.buckets = mergeBuckets(dec, -1)
+	}
+
+	t.nodes++
+	t.edges += len(n.edges)
+	t.levels[level] = append(t.levels[level], n)
+	memo[key] = n
+	return n
+}
+
+// descend fills the edge target: a child node or a leaf match set.
+func (t *Tree) descend(e *Edge, alive []int, level int, last bool, memo map[string]*Node) {
+	if last {
+		e.Leaf = alive
+		return
+	}
+	e.Child = t.build(alive, level+1, memo)
+}
+
+// mergeBuckets builds the natural-order domain partition from the
+// decomposition. complementEdge is the edge index for gap pieces (−1 = D₀).
+func mergeBuckets(dec subrange.Decomposition, complementEdge int) []bucket {
+	type piece struct {
+		iv   schema.Interval
+		edge int
+	}
+	pieces := make([]piece, 0, len(dec.Subranges)+len(dec.Gaps))
+	for i, sr := range dec.Subranges {
+		pieces = append(pieces, piece{iv: sr.Iv, edge: i})
+	}
+	for _, g := range dec.Gaps {
+		pieces = append(pieces, piece{iv: g, edge: complementEdge})
+	}
+	sort.Slice(pieces, func(i, j int) bool {
+		if pieces[i].iv.Lo != pieces[j].iv.Lo {
+			return pieces[i].iv.Lo < pieces[j].iv.Lo
+		}
+		// A point interval sorts before the open interval starting there.
+		return pieces[i].iv.Hi < pieces[j].iv.Hi
+	})
+	out := make([]bucket, len(pieces))
+	for i, p := range pieces {
+		out[i] = bucket{iv: p.iv, edge: p.edge}
+	}
+	return out
+}
+
+// unionSorted merges two sorted int slices without duplicates.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Schema returns the tree's schema.
+func (t *Tree) Schema() *schema.Schema { return t.schema }
+
+// Profiles returns the dense-indexed profile slice (shared; do not mutate).
+func (t *Tree) Profiles() []*predicate.Profile { return t.profiles }
+
+// AttrOrder returns a copy of the attribute order.
+func (t *Tree) AttrOrder() []int { return append([]int(nil), t.attrOrder...) }
+
+// Strategy returns the within-node search strategy.
+func (t *Tree) Strategy() Search { return t.strategy }
+
+// SetStrategy switches the search strategy (safe between matches).
+func (t *Tree) SetStrategy(s Search) { t.strategy = s }
+
+// Levels returns the unique nodes per level (shared slices; do not mutate).
+func (t *Tree) Levels() [][]*Node { return t.levels }
+
+// Stats summarizes the automaton size.
+type Stats struct {
+	Nodes, Edges, SharedHits int
+	Height                   int
+	ProfileCount             int
+}
+
+// Stats returns automaton size statistics.
+func (t *Tree) Stats() Stats {
+	return Stats{
+		Nodes:        t.nodes,
+		Edges:        t.edges,
+		SharedHits:   t.shared,
+		Height:       t.schema.N(),
+		ProfileCount: len(t.profiles),
+	}
+}
+
+// Dump renders the tree in a Fig. 1-like indented form for debugging and the
+// paper-example tests.
+func (t *Tree) Dump() string {
+	var b strings.Builder
+	seen := make(map[*Node]bool)
+	t.dumpNode(&b, t.root, 0, seen)
+	return b.String()
+}
+
+func (t *Tree) dumpNode(b *strings.Builder, n *Node, depth int, seen map[*Node]bool) {
+	indent := strings.Repeat("  ", depth)
+	name := t.schema.At(n.Attr).Name
+	if seen[n] {
+		fmt.Fprintf(b, "%s%s <shared>\n", indent, name)
+		return
+	}
+	seen[n] = true
+	fmt.Fprintf(b, "%s%s\n", indent, name)
+	for _, ei := range n.scan {
+		e := &n.edges[ei]
+		label := e.Iv.String()
+		switch e.Kind {
+		case EdgeComplement:
+			label = "(*)"
+		case EdgeStar:
+			label = "*"
+		}
+		if e.Child != nil {
+			fmt.Fprintf(b, "%s  %s ->\n", indent, label)
+			t.dumpNode(b, e.Child, depth+2, seen)
+			continue
+		}
+		ids := make([]string, len(e.Leaf))
+		for i, pi := range e.Leaf {
+			ids[i] = string(t.profiles[pi].ID)
+		}
+		fmt.Fprintf(b, "%s  %s -> {%s}\n", indent, label, strings.Join(ids, ","))
+	}
+}

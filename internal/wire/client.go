@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client speaks the wire protocol. Notifications are demultiplexed from
+// request responses: responses arrive on an internal reply queue in request
+// order, notifications on Notifications(). Client is safe for concurrent
+// use; requests are serialized.
+type Client struct {
+	conn net.Conn
+
+	reqMu sync.Mutex // serializes request/response pairs
+
+	mu      sync.Mutex
+	closed  bool
+	replies chan Response
+	notifs  chan Response
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a GENAS daemon.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		replies: make(chan Response, 16),
+		notifs:  make(chan Response, 256),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop splits the inbound stream into replies and notifications.
+func (c *Client) readLoop() {
+	defer close(c.done)
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		resp, err := DecodeResponse(sc.Bytes())
+		if err != nil {
+			continue // tolerate garbage lines
+		}
+		if resp.Type == MsgNotification {
+			select {
+			case c.notifs <- resp:
+			default: // drop when the consumer lags; mirrors broker policy
+			}
+			continue
+		}
+		c.replies <- resp
+	}
+	c.mu.Lock()
+	c.readErr = sc.Err()
+	c.mu.Unlock()
+	close(c.notifs)
+}
+
+// Notifications returns the inbound notification stream. The channel closes
+// when the connection drops.
+func (c *Client) Notifications() <-chan Response { return c.notifs }
+
+// roundTrip sends one request and waits for its reply.
+func (c *Client) roundTrip(req Request, timeout time.Duration) (Response, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	b, err := EncodeLine(req)
+	if err != nil {
+		return Response{}, err
+	}
+	if timeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	if _, err := c.conn.Write(b); err != nil {
+		return Response{}, fmt.Errorf("wire: write: %w", err)
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case resp, ok := <-c.replies:
+		if !ok {
+			return Response{}, errors.New("wire: connection closed")
+		}
+		if resp.Type == MsgError {
+			return resp, fmt.Errorf("wire: server: %s", resp.Error)
+		}
+		return resp, nil
+	case <-c.done:
+		return Response{}, errors.New("wire: connection closed")
+	case <-timer:
+		return Response{}, errors.New("wire: request timed out")
+	}
+}
+
+// Ping round-trips a ping.
+func (c *Client) Ping(timeout time.Duration) error {
+	_, err := c.roundTrip(Request{Op: OpPing}, timeout)
+	return err
+}
+
+// Subscribe registers a profile expression under id.
+func (c *Client) Subscribe(id, profile string, priority float64, timeout time.Duration) error {
+	_, err := c.roundTrip(Request{Op: OpSubscribe, ID: id, Profile: profile, Priority: priority}, timeout)
+	return err
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(id string, timeout time.Duration) error {
+	_, err := c.roundTrip(Request{Op: OpUnsubscribe, ID: id}, timeout)
+	return err
+}
+
+// Publish posts an event given as attribute name → value; it returns the
+// number of matched profiles.
+func (c *Client) Publish(ev map[string]float64, timeout time.Duration) (int, error) {
+	resp, err := c.roundTrip(Request{Op: OpPublish, Event: ev}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Matched, nil
+}
+
+// Quench asks whether the region [lo,hi] of attr is unsubscribed.
+func (c *Client) Quench(attr string, lo, hi float64, timeout time.Duration) (bool, error) {
+	resp, err := c.roundTrip(Request{Op: OpQuench, Attr: attr, Lo: lo, Hi: hi}, timeout)
+	if err != nil {
+		return false, err
+	}
+	return resp.Quenched, nil
+}
+
+// Stats fetches broker statistics.
+func (c *Client) Stats(timeout time.Duration) (*StatsPayload, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("wire: empty stats")
+	}
+	return resp.Stats, nil
+}
+
+// Profiles fetches the daemon's registered profiles.
+func (c *Client) Profiles(timeout time.Duration) ([]ProfilePayload, error) {
+	resp, err := c.roundTrip(Request{Op: OpProfiles}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Profiles, nil
+}
+
+// Schema fetches the daemon's attribute schema.
+func (c *Client) Schema(timeout time.Duration) ([]AttrPayload, error) {
+	resp, err := c.roundTrip(Request{Op: OpSchema}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Attributes, nil
+}
+
+// Close tears the connection down and waits for the reader to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,310 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"genas/internal/broker"
+	"genas/internal/event"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+)
+
+// Server serves the wire protocol over TCP for one broker instance. Every
+// connection owns its subscriptions: when the connection drops, its profiles
+// are removed from the filter tree.
+type Server struct {
+	brk *broker.Broker
+	ln  net.Listener
+	log *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a broker. logger may be nil to discard logs.
+func NewServer(brk *broker.Broker, logger *log.Logger) *Server {
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	return &Server{brk: brk, log: logger, conns: make(map[net.Conn]struct{})}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Serve accepts connections on ln until the context is canceled or Close is
+// called. It blocks; run it from the caller's goroutine of choice.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("wire: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	defer close(done)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-ctx.Done():
+			_ = ln.Close()
+		case <-done:
+		}
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || s.isClosed() {
+				s.wg.Wait()
+				return nil
+			}
+			s.wg.Wait()
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		s.track(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[c] = struct{}{}
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+}
+
+// Close stops accepting, disconnects all clients and waits for handler
+// goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// connState tracks one connection's subscriptions and synchronized writer.
+type connState struct {
+	mu   sync.Mutex
+	conn net.Conn
+	subs map[string]*broker.Subscription
+	wg   sync.WaitGroup
+}
+
+func (cs *connState) writeLine(v any) error {
+	b, err := EncodeLine(v)
+	if err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	_, err = cs.conn.Write(b)
+	return err
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(conn net.Conn) {
+	defer s.untrack(conn)
+	cs := &connState{conn: conn, subs: make(map[string]*broker.Subscription)}
+	defer func() {
+		// Tear down this connection's subscriptions, then wait for their
+		// forwarder goroutines (closing the subscription closes its channel,
+		// which ends the forwarder).
+		for id := range cs.subs {
+			_ = s.brk.Unsubscribe(predicate.ID(id))
+		}
+		cs.wg.Wait()
+		_ = conn.Close()
+	}()
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		req, err := DecodeRequest(line)
+		if err != nil {
+			_ = cs.writeLine(Response{Type: MsgError, Error: err.Error()})
+			continue
+		}
+		if err := s.dispatch(cs, req); err != nil {
+			if writeErr := cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: err.Error()}); writeErr != nil {
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		s.log.Printf("wire: connection %s: %v", conn.RemoteAddr(), err)
+	}
+}
+
+// dispatch executes one request; returned errors are reported to the client.
+func (s *Server) dispatch(cs *connState, req Request) error {
+	sch := s.brk.Schema()
+	switch req.Op {
+	case OpPing:
+		return cs.writeLine(Response{Type: MsgPong, Op: req.Op})
+
+	case OpSchema:
+		attrs := make([]AttrPayload, sch.N())
+		for i := 0; i < sch.N(); i++ {
+			a := sch.At(i)
+			attrs[i] = AttrPayload{
+				Name:   a.Name,
+				Kind:   a.Domain.Kind().String(),
+				Lo:     a.Domain.Lo(),
+				Hi:     a.Domain.Hi(),
+				Labels: a.Domain.Labels(),
+			}
+		}
+		return cs.writeLine(Response{Type: MsgSchema, Op: req.Op, Attributes: attrs})
+
+	case OpSubscribe:
+		if req.ID == "" {
+			return errors.New("subscribe: missing id")
+		}
+		p, err := predicate.Parse(sch, predicate.ID(req.ID), req.Profile)
+		if err != nil {
+			return err
+		}
+		p.Priority = req.Priority
+		sub, err := s.brk.Subscribe(p)
+		if err != nil {
+			return err
+		}
+		cs.subs[req.ID] = sub
+		cs.wg.Add(1)
+		go func() {
+			defer cs.wg.Done()
+			s.forward(cs, sub)
+		}()
+		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
+
+	case OpUnsubscribe:
+		if _, ok := cs.subs[req.ID]; !ok {
+			return fmt.Errorf("unsubscribe: %s not subscribed on this connection", req.ID)
+		}
+		delete(cs.subs, req.ID)
+		if err := s.brk.Unsubscribe(predicate.ID(req.ID)); err != nil {
+			return err
+		}
+		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
+
+	case OpPublish:
+		vals := make([]float64, sch.N())
+		for name, v := range req.Event {
+			i, err := sch.Index(name)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		ev, err := event.New(sch, vals...)
+		if err != nil {
+			return err
+		}
+		matched, err := s.brk.Publish(ev)
+		if err != nil {
+			return err
+		}
+		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Matched: matched})
+
+	case OpQuench:
+		i, err := sch.Index(req.Attr)
+		if err != nil {
+			return err
+		}
+		q := s.brk.Quenched(i, schema.Closed(req.Lo, req.Hi))
+		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Quenched: q})
+
+	case OpProfiles:
+		var payload []ProfilePayload
+		for _, p := range s.brk.Engine().Profiles() {
+			payload = append(payload, ProfilePayload{
+				ID:       string(p.ID),
+				Expr:     p.Render(sch),
+				Priority: p.Priority,
+			})
+		}
+		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profiles: payload})
+
+	case OpStats:
+		st := s.brk.Stats()
+		payload := &StatsPayload{
+			Subscriptions: st.Subscriptions,
+			Published:     st.Published,
+			Delivered:     st.Delivered,
+			Dropped:       st.Dropped,
+			FilterEvents:  st.FilterEvents,
+			FilterOps:     st.FilterOps,
+			MeanOps:       st.MeanOps,
+		}
+		if a := s.brk.Adaptor(); a != nil {
+			payload.Restructures = a.Restructures()
+		}
+		return cs.writeLine(Response{Type: MsgStats, Op: req.Op, Stats: payload})
+
+	default:
+		return fmt.Errorf("unknown op %q", req.Op)
+	}
+}
+
+// forward pushes one subscription's notifications to the connection until
+// the subscription channel closes.
+func (s *Server) forward(cs *connState, sub *broker.Subscription) {
+	sch := s.brk.Schema()
+	for n := range sub.C() {
+		payload := make(map[string]float64, sch.N())
+		for i, v := range n.Event.Vals {
+			payload[sch.At(i).Name] = v
+		}
+		resp := Response{
+			Type:    MsgNotification,
+			Profile: string(n.Profile),
+			Event:   payload,
+			Seq:     n.Event.Seq,
+		}
+		if err := cs.writeLine(resp); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package wire defines the JSON-line protocol spoken between the GENAS
+// daemon (cmd/genasd) and its clients (cmd/genas): one JSON object per line
+// over TCP. The protocol carries the generic service's runtime definitions —
+// profiles in the profile language, events in the event notation — so "all
+// events, attributes, domains, and compare operators can be created and
+// specified at runtime" (paper §4.2).
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Op enumerates request operations.
+type Op string
+
+// Request operations.
+const (
+	OpSubscribe   Op = "subscribe"
+	OpUnsubscribe Op = "unsubscribe"
+	OpPublish     Op = "publish"
+	OpStats       Op = "stats"
+	OpQuench      Op = "quench"
+	OpSchema      Op = "schema"
+	OpProfiles    Op = "profiles"
+	OpPing        Op = "ping"
+)
+
+// Request is one client→server message.
+type Request struct {
+	Op Op `json:"op"`
+	// ID identifies the profile for subscribe/unsubscribe.
+	ID string `json:"id,omitempty"`
+	// Profile is a profile-language expression for subscribe.
+	Profile string `json:"profile,omitempty"`
+	// Priority weights the profile for user-centric optimization.
+	Priority float64 `json:"priority,omitempty"`
+	// Event carries publish payloads as attribute name → value.
+	Event map[string]float64 `json:"event,omitempty"`
+	// Attr/Lo/Hi describe a quench query region.
+	Attr string  `json:"attr,omitempty"`
+	Lo   float64 `json:"lo,omitempty"`
+	Hi   float64 `json:"hi,omitempty"`
+}
+
+// MsgType enumerates server→client message types.
+type MsgType string
+
+// Response message types.
+const (
+	MsgOK           MsgType = "ok"
+	MsgError        MsgType = "error"
+	MsgNotification MsgType = "notification"
+	MsgStats        MsgType = "stats"
+	MsgSchema       MsgType = "schema"
+	MsgPong         MsgType = "pong"
+)
+
+// Response is one server→client message.
+type Response struct {
+	Type MsgType `json:"type"`
+	// Op echoes the request operation for MsgOK/MsgError.
+	Op Op `json:"op,omitempty"`
+	// Error carries the failure text for MsgError.
+	Error string `json:"error,omitempty"`
+	// Profile identifies the matched subscription for notifications.
+	Profile string `json:"profile,omitempty"`
+	// Event is the notification payload (attribute name → value).
+	Event map[string]float64 `json:"event,omitempty"`
+	// Seq is the broker sequence number of the notified event.
+	Seq uint64 `json:"seq,omitempty"`
+	// Matched reports how many profiles a published event matched.
+	Matched int `json:"matched,omitempty"`
+	// Quenched answers quench queries.
+	Quenched bool `json:"quenched,omitempty"`
+	// Stats carries broker statistics.
+	Stats *StatsPayload `json:"stats,omitempty"`
+	// Attributes lists the schema for MsgSchema.
+	Attributes []AttrPayload `json:"attributes,omitempty"`
+	// Profiles lists registered subscriptions for OpProfiles.
+	Profiles []ProfilePayload `json:"profiles,omitempty"`
+}
+
+// ProfilePayload describes one registered profile on the wire.
+type ProfilePayload struct {
+	ID       string  `json:"id"`
+	Expr     string  `json:"expr"`
+	Priority float64 `json:"priority,omitempty"`
+}
+
+// StatsPayload mirrors broker.Stats on the wire.
+type StatsPayload struct {
+	Subscriptions int     `json:"subscriptions"`
+	Published     uint64  `json:"published"`
+	Delivered     uint64  `json:"delivered"`
+	Dropped       uint64  `json:"dropped"`
+	FilterEvents  uint64  `json:"filter_events"`
+	FilterOps     uint64  `json:"filter_ops"`
+	MeanOps       float64 `json:"mean_ops"`
+	Restructures  int     `json:"restructures,omitempty"`
+}
+
+// AttrPayload describes one schema attribute on the wire.
+type AttrPayload struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	// Labels lists categorical values in code order.
+	Labels []string `json:"labels,omitempty"`
+}
+
+// EncodeLine marshals a message and appends '\n'.
+func EncodeLine(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeRequest parses one request line.
+func DecodeRequest(line []byte) (Request, error) {
+	var r Request
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Request{}, fmt.Errorf("wire: bad request: %w", err)
+	}
+	if r.Op == "" {
+		return Request{}, fmt.Errorf("wire: missing op")
+	}
+	return r, nil
+}
+
+// DecodeResponse parses one response line.
+func DecodeResponse(line []byte) (Response, error) {
+	var r Response
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Response{}, fmt.Errorf("wire: bad response: %w", err)
+	}
+	if r.Type == "" {
+		return Response{}, fmt.Errorf("wire: missing type")
+	}
+	return r, nil
+}
