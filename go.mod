@@ -1,0 +1,3 @@
+module genas
+
+go 1.24

@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The catalog realizes the paper's distribution vocabulary (§4.3, Fig. 3):
+// the named distributions the figures sweep over plus the exemplary family
+// d1…d42. Each dN is a step shape; most spread over the ten deciles of the
+// normalized domain, while the sharp peaks (d39, d40, d42) concentrate on a
+// few domain values as the paper's extreme cases do. The family covers the
+// qualitative classes the evaluation needs: flat, ramps, plateaus, center
+// peaks, U-shapes, bimodals and one-sided peaks of varying sharpness.
+var catalog = map[string]Shape{}
+
+// register adds a shape under the given catalog key, wrapping it so that
+// ByName(key).Name() == key.
+func register(key string, sh Shape) {
+	if sh.Name() != key {
+		sh = named{Shape: sh, key: key}
+	}
+	catalog[key] = sh
+}
+
+func init() {
+	register("equal", UniformShape{})
+	register("gauss", Gauss())
+	register("relgauss-low", RelocatedGauss(0.1))
+	register("relgauss-high", RelocatedGauss(0.9))
+	register("falling", fallingShape{})
+	register("90% high", PeakHigh(0.90))
+	register("95% high", PeakHigh(0.95))
+	register("90% low", PeakLow(0.90))
+	register("95% low", PeakLow(0.95))
+
+	for i, weights := range dDeciles {
+		name := fmt.Sprintf("d%d", i+1)
+		if weights == nil {
+			continue // sharp peaks registered below with custom cuts
+		}
+		register(name, decileStep(name, weights...))
+	}
+	// The sharp one-sided peaks: nearly all mass on the outermost 2–4% of
+	// the domain, the remainder uniform.
+	register("d39", mustStep("d39", []float64{0, 0.02, 1}, []float64{95, 5}))
+	register("d40", mustStep("d40", []float64{0, 0.97, 1}, []float64{5, 95}))
+	register("d42", mustStep("d42", []float64{0, 0.96, 1}, []float64{8, 92}))
+}
+
+// dDeciles lists the decile weights of d1…d42 (normalized internally). Nil
+// rows are the sharp peaks built with custom cuts in init.
+var dDeciles = [][]float64{
+	{1, 1, 1, 1, 1, 1, 1, 1, 1, 1},   // d1: flat
+	{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},  // d2: rising ramp
+	{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},  // d3: falling ramp
+	{60, 15, 8, 5, 3, 3, 2, 2, 1, 1}, // d4: strong low peak
+	{6, 4, 3, 2, 1, 1, 1, 1, 1, 1},   // d5: moderate low peak
+	{1, 1, 1, 1, 1, 2, 3, 4, 5, 6},   // d6: moderate high peak
+	{1, 1, 1, 2, 8, 8, 2, 1, 1, 1},   // d7: narrow center peak
+	{5, 4, 3, 1, 1, 1, 1, 3, 4, 5},   // d8: center valley
+	{6, 3, 1, 1, 1, 1, 1, 1, 3, 6},   // d9: U-shape
+	{4, 4, 4, 4, 1, 1, 1, 1, 1, 1},   // d10: low plateau
+	{1, 1, 1, 1, 1, 1, 4, 4, 4, 4},   // d11: high plateau
+	{1, 3, 5, 3, 1, 1, 3, 5, 3, 1},   // d12: twin humps
+	{2, 4, 6, 8, 6, 4, 2, 1, 1, 1},   // d13: low-center bell
+	{1, 1, 1, 1, 2, 2, 3, 5, 9, 20},  // d14: strong high peak
+	{1, 1, 1, 3, 5, 9, 5, 3, 1, 1},   // d15: mid-high bell
+	{4, 4, 4, 3, 3, 3, 3, 2, 2, 2},   // d16: gentle fall
+	{1, 1, 2, 4, 7, 7, 4, 2, 1, 1},   // d17: center bell
+	{1, 2, 3, 4, 4, 4, 4, 3, 2, 1},   // d18: wide center plateau
+	{2, 2, 2, 3, 3, 3, 4, 4, 4, 4},   // d19: gentle rise
+	{8, 1, 1, 1, 1, 1, 1, 1, 1, 8},   // d20: hard edges
+	{12, 6, 3, 2, 1, 1, 1, 1, 1, 1},  // d21: steep fall
+	{1, 1, 1, 1, 1, 1, 2, 3, 6, 12},  // d22: steep rise
+	{1, 5, 1, 5, 1, 5, 1, 5, 1, 5},   // d23: comb
+	{3, 1, 4, 1, 5, 1, 4, 1, 3, 1},   // d24: alternating
+	{1, 2, 4, 2, 1, 1, 2, 4, 2, 1},   // d25: soft bimodal
+	{5, 5, 1, 1, 1, 1, 1, 1, 5, 5},   // d26: wide U
+	{2, 3, 4, 5, 5, 5, 5, 4, 3, 2},   // d27: dome
+	{1, 1, 2, 2, 3, 3, 2, 2, 1, 1},   // d28: low dome
+	{7, 5, 4, 3, 2, 2, 1, 1, 1, 1},   // d29: convex fall
+	{1, 1, 1, 1, 2, 2, 3, 4, 5, 7},   // d30: convex rise
+	{1, 8, 4, 2, 1, 1, 1, 1, 1, 1},   // d31: offset low peak
+	{1, 1, 1, 1, 1, 1, 2, 4, 8, 1},   // d32: offset high peak
+	{2, 6, 2, 1, 1, 1, 1, 2, 6, 2},   // d33: shifted bimodal
+	{2, 6, 9, 3, 1, 1, 3, 9, 6, 2},   // d34: strong bimodal
+	{1, 1, 6, 6, 1, 1, 6, 6, 1, 1},   // d35: twin plateaus
+	{10, 5, 2, 1, 1, 1, 1, 2, 5, 10}, // d36: sharp U
+	{5, 4, 5, 4, 5, 4, 5, 4, 5, 4},   // d37: near-flat ripple
+	{1, 2, 1, 2, 1, 2, 1, 2, 1, 2},   // d38: near-flat ripple (inverse)
+	nil,                              // d39: sharp low peak (custom cuts)
+	nil,                              // d40: sharp high peak (custom cuts)
+	{2, 2, 3, 4, 5, 5, 6, 7, 8, 8},   // d41: moderate rise
+	nil,                              // d42: sharp high peak (custom cuts)
+}
+
+// ByName resolves a catalog name to its shape.
+func ByName(name string) (Shape, error) {
+	sh, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDist, name)
+	}
+	return sh, nil
+}
+
+// Names returns all registered catalog names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for name := range catalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

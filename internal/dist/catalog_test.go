@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestByNameRoundTrips: every registered name resolves, reports itself as
+// its own name, and resolves again through that name.
+func TestByNameRoundTrips(t *testing.T) {
+	names := Names()
+	if len(names) < 42 {
+		t.Fatalf("catalog has %d names, want the full family", len(names))
+	}
+	for _, name := range names {
+		sh, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if sh.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, sh.Name())
+		}
+		again, err := ByName(sh.Name())
+		if err != nil || again.Name() != name {
+			t.Errorf("round trip of %q failed: %v", name, err)
+		}
+	}
+}
+
+// TestByNameUnknown: unknown names report ErrUnknownist.
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus"); !errors.Is(err, ErrUnknownDist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestCatalogCDFContract: every catalog shape is a CDF: 0 at 0, 1 at 1,
+// monotone, clamping outside [0,1].
+func TestCatalogCDFContract(t *testing.T) {
+	for _, name := range Names() {
+		sh, _ := ByName(name)
+		if c := sh.CDF(0); math.Abs(c) > 1e-12 {
+			t.Errorf("%s: CDF(0) = %g", name, c)
+		}
+		if c := sh.CDF(1); math.Abs(c-1) > 1e-12 {
+			t.Errorf("%s: CDF(1) = %g", name, c)
+		}
+		if sh.CDF(-5) != sh.CDF(0) || sh.CDF(5) != sh.CDF(1) {
+			t.Errorf("%s: CDF does not clamp", name)
+		}
+		prev := 0.0
+		for i := 0; i <= 200; i++ {
+			c := sh.CDF(float64(i) / 200)
+			if c < prev-1e-12 {
+				t.Fatalf("%s: CDF not monotone at %d/200", name, i)
+			}
+			prev = c
+		}
+	}
+}
+
+// TestCatalogDecileMasses: the Fig. 3 view — decile masses are non-negative
+// and sum to 1 for every catalog entry.
+func TestCatalogDecileMasses(t *testing.T) {
+	for _, name := range Names() {
+		sh, _ := ByName(name)
+		total := 0.0
+		for d := 0; d < 10; d++ {
+			m := MassOn(sh, float64(d)/10, float64(d+1)/10)
+			if m < 0 {
+				t.Errorf("%s: decile %d mass %g", name, d, m)
+			}
+			total += m
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("%s: decile masses sum to %g", name, total)
+		}
+	}
+}
+
+// TestCatalogQualitativeRoles: the named distributions carry the mass
+// placement the paper's figures rely on.
+func TestCatalogQualitativeRoles(t *testing.T) {
+	low := func(name string) float64 { return MassOn(mustByName(t, name), 0, 0.1) }
+	high := func(name string) float64 { return MassOn(mustByName(t, name), 0.9, 1) }
+
+	if m := low("95% low"); math.Abs(m-0.95) > 1e-12 {
+		t.Errorf("95%% low bottom decile = %g", m)
+	}
+	if m := high("95% high"); math.Abs(m-0.95) > 1e-12 {
+		t.Errorf("95%% high top decile = %g", m)
+	}
+	if m := high("90% high"); math.Abs(m-0.90) > 1e-12 {
+		t.Errorf("90%% high top decile = %g", m)
+	}
+	// Relocated Gauss concentrates at its end of the domain.
+	if m := MassOn(mustByName(t, "relgauss-low"), 0, 0.3); m < 0.85 {
+		t.Errorf("relgauss-low mass below 0.3 = %g", m)
+	}
+	if m := MassOn(mustByName(t, "relgauss-high"), 0.7, 1); m < 0.85 {
+		t.Errorf("relgauss-high mass above 0.7 = %g", m)
+	}
+	// The centered Gauss is symmetric and middle-heavy.
+	g := mustByName(t, "gauss")
+	if m := MassOn(g, 0.3, 0.7); m < 0.7 {
+		t.Errorf("gauss central mass = %g", m)
+	}
+	if d := math.Abs(MassOn(g, 0, 0.5) - 0.5); d > 1e-9 {
+		t.Errorf("gauss asymmetric by %g", d)
+	}
+	// Falling decreases monotonically across deciles.
+	f := mustByName(t, "falling")
+	prev := math.Inf(1)
+	for d := 0; d < 10; d++ {
+		m := MassOn(f, float64(d)/10, float64(d+1)/10)
+		if m > prev {
+			t.Errorf("falling decile %d mass %g grows", d, m)
+		}
+		prev = m
+	}
+	// The sharp peaks: d39 low, d40/d42 high.
+	if m := low("d39"); m < 0.9 {
+		t.Errorf("d39 bottom decile = %g", m)
+	}
+	if m := high("d40"); m < 0.9 {
+		t.Errorf("d40 top decile = %g", m)
+	}
+	if m := high("d42"); m < 0.85 {
+		t.Errorf("d42 top decile = %g", m)
+	}
+}
+
+// TestPeakNames: constructed peaks print whole percentages.
+func TestPeakNames(t *testing.T) {
+	if n := PeakLow(0.95).Name(); n != "95% low" {
+		t.Errorf("PeakLow(0.95).Name() = %q", n)
+	}
+	if n := PeakHigh(0.8).Name(); n != "80% high" {
+		t.Errorf("PeakHigh(0.8).Name() = %q", n)
+	}
+	if n := PeakLow(0.425).Name(); !strings.HasSuffix(n, "% low") {
+		t.Errorf("PeakLow(0.425).Name() = %q", n)
+	}
+	// Out-of-range fractions clamp instead of producing invalid shapes.
+	if m := MassOn(PeakLow(7), 0, 0.1); m > 0.99 || m < 0.9 {
+		t.Errorf("clamped peak mass = %g", m)
+	}
+	if m := MassOn(PeakHigh(-3), 0.9, 1); m < 0.005 || m > 0.05 {
+		t.Errorf("clamped peak mass = %g", m)
+	}
+}
+
+// TestNewStepAtErrors: construction validates its inputs.
+func TestNewStepAtErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		cuts    []float64
+		weights []float64
+	}{
+		{"", []float64{0, 1}, []float64{1}},
+		{"x", []float64{0, 1}, nil},
+		{"x", []float64{0, 0.5, 1}, []float64{1}},
+		{"x", []float64{0.1, 1}, []float64{1}},
+		{"x", []float64{0, 0.9}, []float64{1}},
+		{"x", []float64{0, 0.6, 0.4, 1}, []float64{1, 1, 1}},
+		{"x", []float64{0, 0.5, 0.5, 1}, []float64{1, 1, 1}},
+		{"x", []float64{0, 0.5, 1}, []float64{1, -1}},
+		{"x", []float64{0, 0.5, 1}, []float64{0, 0}},
+		{"x", []float64{0, 0.5, 1}, []float64{1, math.NaN()}},
+		{"x", []float64{0, 0.5, 1}, []float64{1, math.Inf(1)}},
+		// Endpoint snapping must not collapse a segment that only looked
+		// ascending before the snap.
+		{"x", []float64{0, 1, 1 + 5e-10}, []float64{9, 1}},
+		{"x", []float64{-5e-10, 0, 1}, []float64{1, 9}},
+	}
+	for _, c := range cases {
+		if _, err := NewStepAt(c.name, c.cuts, c.weights); !errors.Is(err, ErrBadStep) {
+			t.Errorf("NewStepAt(%q, %v, %v) = %v, want ErrBadStep", c.name, c.cuts, c.weights, err)
+		}
+	}
+	// A valid construction carries exact cut masses.
+	sh, err := NewStepAt("ex", []float64{0, 0.125, 0.75, 0.8125, 1}, []float64{0.02, 0.17, 0.01, 0.80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := sh.CDF(0.75); math.Abs(c-0.19) > 1e-12 {
+		t.Errorf("CDF(0.75) = %g, want 0.19", c)
+	}
+	if m := MassOn(sh, 0.8125, 1); math.Abs(m-0.80) > 1e-12 {
+		t.Errorf("top segment mass = %g, want 0.80", m)
+	}
+}
+
+// TestTotalVariation: identity is exactly zero, symmetry holds, disjoint
+// peaks are nearly maximally distant, and the result stays in [0, 1].
+func TestTotalVariation(t *testing.T) {
+	for _, name := range Names() {
+		sh, _ := ByName(name)
+		for _, bins := range []int{1, 10, 64} {
+			if tv := TotalVariation(sh, sh, bins); tv != 0 {
+				t.Errorf("TV(%s, %s, %d) = %g", name, name, bins, tv)
+			}
+		}
+	}
+	a, b := PeakLow(0.95), PeakHigh(0.95)
+	tv := TotalVariation(a, b, 10)
+	if tv < 0.85 || tv > 1 {
+		t.Errorf("TV of disjoint peaks = %g", tv)
+	}
+	if got := TotalVariation(b, a, 10); got != tv {
+		t.Errorf("TV asymmetric: %g vs %g", got, tv)
+	}
+	if tv := TotalVariation(UniformShape{}, Gauss(), 0); tv < 0 || tv > 1 {
+		t.Errorf("TV with degenerate bins = %g", tv)
+	}
+	// Coarser binning can only lower the measured distance.
+	if TotalVariation(a, b, 1) > TotalVariation(a, b, 10)+1e-12 {
+		t.Error("coarse TV exceeds fine TV")
+	}
+}
+
+// TestMassOn: clamping and degenerate intervals.
+func TestMassOn(t *testing.T) {
+	u := UniformShape{}
+	if m := MassOn(u, -1, 2); m != 1 {
+		t.Errorf("clamped full mass = %g", m)
+	}
+	if m := MassOn(u, 0.5, 0.5); m != 0 {
+		t.Errorf("empty mass = %g", m)
+	}
+	if m := MassOn(u, 0.9, 0.1); m != 0 {
+		t.Errorf("inverted mass = %g", m)
+	}
+}

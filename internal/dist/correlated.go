@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadCorrelated reports invalid mixture construction.
+var ErrBadCorrelated = errors.New("dist: invalid correlated mixture")
+
+// correlated is a mixture of product distributions over n attributes:
+// component k is drawn with probability weights[k] and then every attribute
+// samples independently from rows[k]. Mixtures of products induce
+// correlation between attributes even though each component is independent —
+// the standard counterexample to the analytic model's independence
+// assumption.
+type correlated struct {
+	weights []float64 // normalized
+	cum     []float64 // len(weights)+1 cumulative weights for sampling
+	rows    [][]Dist
+}
+
+// NewCorrelated builds an n-attribute joint distribution as a weighted
+// mixture of independent product components. components[k][j] is attribute
+// j's distribution inside mixture component k; all rows must have the same
+// width and agree column-wise on the attribute domain. The returned Dist
+// behaves as the first attribute's marginal for Mass/Sample; use Marginal
+// and SampleEvent for the joint view.
+func NewCorrelated(weights []float64, components [][]Dist) (Dist, error) {
+	if len(components) == 0 {
+		return Dist{}, fmt.Errorf("%w: no components", ErrBadCorrelated)
+	}
+	if len(weights) != len(components) {
+		return Dist{}, fmt.Errorf("%w: %d weights for %d components",
+			ErrBadCorrelated, len(weights), len(components))
+	}
+	width := len(components[0])
+	if width == 0 {
+		return Dist{}, fmt.Errorf("%w: empty component row", ErrBadCorrelated)
+	}
+	total := 0.0
+	for k, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Dist{}, fmt.Errorf("%w: weight[%d] = %g", ErrBadCorrelated, k, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return Dist{}, fmt.Errorf("%w: weights sum to %g", ErrBadCorrelated, total)
+	}
+	for k, row := range components {
+		if len(row) != width {
+			return Dist{}, fmt.Errorf("%w: row %d has %d attributes, want %d",
+				ErrBadCorrelated, k, len(row), width)
+		}
+		for j, d := range row {
+			if d.shape == nil {
+				return Dist{}, fmt.Errorf("%w: component[%d][%d] has no shape", ErrBadCorrelated, k, j)
+			}
+			if d.joint != nil {
+				return Dist{}, fmt.Errorf("%w: component[%d][%d] is itself correlated", ErrBadCorrelated, k, j)
+			}
+			ref := components[0][j].dom
+			if d.dom.Kind() != ref.Kind() || d.dom.Lo() != ref.Lo() || d.dom.Hi() != ref.Hi() ||
+				!sameLabels(d.dom.Labels(), ref.Labels()) {
+				return Dist{}, fmt.Errorf("%w: attribute %d domain mismatch (%s vs %s)",
+					ErrBadCorrelated, j, d.dom, ref)
+			}
+		}
+	}
+	c := &correlated{
+		weights: make([]float64, len(weights)),
+		cum:     make([]float64, len(weights)+1),
+		rows:    make([][]Dist, len(components)),
+	}
+	for k, w := range weights {
+		c.weights[k] = w / total
+		c.cum[k+1] = c.cum[k] + c.weights[k]
+	}
+	c.cum[len(weights)] = 1
+	for k, row := range components {
+		c.rows[k] = append([]Dist(nil), row...)
+	}
+	joint := c.marginal(0)
+	joint.joint = c
+	return joint, nil
+}
+
+// sameLabels reports whether two categorical label lists agree (both nil for
+// non-categorical domains). Size-equal categorical domains with different
+// encodings must not silently mix.
+func sameLabels(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// marginal builds attribute j's marginal: the weight-mixture of the
+// component shapes bound to the shared column domain.
+func (c *correlated) marginal(j int) Dist {
+	shapes := make([]Shape, len(c.rows))
+	for k, row := range c.rows {
+		shapes[k] = row[j].shape
+	}
+	return Dist{
+		shape: &mixShape{
+			name:    fmt.Sprintf("mix/%d", j),
+			weights: c.weights,
+			shapes:  shapes,
+		},
+		dom: c.rows[0][j].dom,
+	}
+}
+
+// Marginal returns attribute i's marginal distribution. On a non-correlated
+// Dist it returns the distribution itself (index 0 of a 1-attribute joint).
+func (d Dist) Marginal(i int) Dist {
+	if d.joint == nil {
+		return Dist{shape: d.shape, dom: d.dom}
+	}
+	return d.joint.marginal(i)
+}
+
+// Attrs returns the joint width: 1 for plain distributions.
+func (d Dist) Attrs() int {
+	if d.joint == nil {
+		return 1
+	}
+	return len(d.joint.rows[0])
+}
+
+// SampleEvent draws one full event vector: a mixture component is selected
+// by weight, then every attribute samples independently from that
+// component's row. For a plain Dist it returns a single-element vector.
+func (d Dist) SampleEvent(rng *rand.Rand) []float64 {
+	if d.joint == nil {
+		return []float64{d.Sample(rng)}
+	}
+	u := rng.Float64()
+	k := 0
+	for k < len(d.joint.rows)-1 && u >= d.joint.cum[k+1] {
+		k++
+	}
+	row := d.joint.rows[k]
+	out := make([]float64, len(row))
+	for j, dj := range row {
+		out[j] = dj.Sample(rng)
+	}
+	return out
+}
+
+// mixShape is the weighted mixture of several shapes: the marginal of a
+// correlated joint. Its CDF is the weight-average of the component CDFs.
+type mixShape struct {
+	name    string
+	weights []float64
+	shapes  []Shape
+}
+
+// Name identifies the mixture.
+func (m *mixShape) Name() string { return m.name }
+
+// CDF is the convex combination of the component CDFs.
+func (m *mixShape) CDF(x float64) float64 {
+	sum := 0.0
+	for k, s := range m.shapes {
+		sum += m.weights[k] * s.CDF(x)
+	}
+	return sum
+}
+
+// massSpan is the convex combination of the components' exact cell masses.
+func (m *mixShape) massSpan(x1, width float64) float64 {
+	sum := 0.0
+	for k, s := range m.shapes {
+		sum += m.weights[k] * spanMass(s, x1, width)
+	}
+	return sum
+}

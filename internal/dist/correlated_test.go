@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"genas/internal/schema"
+)
+
+func twoByTwo(t *testing.T) (Dist, schema.Domain, schema.Domain) {
+	t.Helper()
+	d1 := intDom(t, 0, 49)
+	d2 := intDom(t, 0, 49)
+	lo := []Dist{New(PeakLow(0.95), d1), New(PeakLow(0.95), d2)}
+	hi := []Dist{New(PeakHigh(0.95), d1), New(PeakHigh(0.95), d2)}
+	joint, err := NewCorrelated([]float64{1, 3}, [][]Dist{lo, hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return joint, d1, d2
+}
+
+// TestCorrelatedMarginals: the marginal masses are the weight-average of the
+// component masses.
+func TestCorrelatedMarginals(t *testing.T) {
+	joint, d1, _ := twoByTwo(t)
+	if joint.Attrs() != 2 {
+		t.Fatalf("Attrs = %d", joint.Attrs())
+	}
+	for j := 0; j < 2; j++ {
+		m := joint.Marginal(j)
+		if got := m.Mass(d1.Interval()); math.Abs(got-1) > 1e-9 {
+			t.Errorf("marginal %d total mass = %g", j, got)
+		}
+		// Bottom decile: 0.25·0.95 + 0.75·0.005... = the mixture value.
+		want := 0.25*MassOn(PeakLow(0.95), 0, 0.1) + 0.75*MassOn(PeakHigh(0.95), 0, 0.1)
+		if got := m.Mass(schema.CO(0, 5)); math.Abs(got-want) > 1e-9 {
+			t.Errorf("marginal %d bottom mass = %g, want %g", j, got, want)
+		}
+	}
+	// The joint itself behaves as the first marginal for Mass.
+	if a, b := joint.Mass(schema.CO(0, 5)), joint.Marginal(0).Mass(schema.CO(0, 5)); math.Abs(a-b) > 1e-12 {
+		t.Errorf("joint mass %g != marginal-0 mass %g", a, b)
+	}
+	// Marginal of a plain Dist is itself.
+	plain := New(Gauss(), d1)
+	if got := plain.Marginal(0).Mass(schema.CO(10, 20)); got != plain.Mass(schema.CO(10, 20)) {
+		t.Error("plain marginal differs from the distribution")
+	}
+	if plain.Attrs() != 1 {
+		t.Errorf("plain Attrs = %d", plain.Attrs())
+	}
+}
+
+// TestCorrelatedSampleEvent: joint samples have the right dimension, land in
+// the domains, converge to the marginals, and are actually correlated.
+func TestCorrelatedSampleEvent(t *testing.T) {
+	joint, d1, d2 := twoByTwo(t)
+	rng := rand.New(rand.NewSource(33))
+	const n = 50000
+	var lowBoth, low0, low1 int
+	counts0 := make([]float64, 10)
+	for i := 0; i < n; i++ {
+		ev := joint.SampleEvent(rng)
+		if len(ev) != 2 {
+			t.Fatalf("event dim = %d", len(ev))
+		}
+		if !d1.Contains(ev[0]) || !d2.Contains(ev[1]) {
+			t.Fatalf("event %v outside domains", ev)
+		}
+		a := ev[0] < 5
+		b := ev[1] < 5
+		if a {
+			low0++
+		}
+		if b {
+			low1++
+		}
+		if a && b {
+			lowBoth++
+		}
+		counts0[int(ev[0]/5)]++
+	}
+	// Marginal convergence on the first attribute.
+	m0 := joint.Marginal(0)
+	tv := 0.0
+	for b := 0; b < 10; b++ {
+		want := m0.Mass(schema.CO(float64(b*5), float64(b*5+5)))
+		tv += math.Abs(counts0[b]/n - want)
+	}
+	if tv /= 2; tv > 0.02 {
+		t.Errorf("marginal-0 empirical TV = %g", tv)
+	}
+	// Correlation: P(both low) must far exceed the independent product.
+	pBoth := float64(lowBoth) / n
+	pInd := float64(low0) / n * float64(low1) / n
+	if pBoth < 2*pInd {
+		t.Errorf("no correlation: P(both)=%g vs independent %g", pBoth, pInd)
+	}
+	// A plain Dist samples one-element events.
+	plain := New(UniformShape{}, d1)
+	if ev := plain.SampleEvent(rng); len(ev) != 1 || !d1.Contains(ev[0]) {
+		t.Errorf("plain SampleEvent = %v", ev)
+	}
+}
+
+// TestNewCorrelatedErrors: construction validates its inputs.
+func TestNewCorrelatedErrors(t *testing.T) {
+	d1 := intDom(t, 0, 49)
+	d2 := intDom(t, 0, 9)
+	row := []Dist{New(UniformShape{}, d1)}
+	cases := []struct {
+		weights    []float64
+		components [][]Dist
+	}{
+		{nil, nil},
+		{[]float64{1}, nil},
+		{[]float64{1, 1}, [][]Dist{row}},
+		{[]float64{1}, [][]Dist{{}}},
+		{[]float64{-1}, [][]Dist{row}},
+		{[]float64{0}, [][]Dist{row}},
+		{[]float64{math.NaN(), 1}, [][]Dist{row, row}},
+		{[]float64{math.Inf(1), 1}, [][]Dist{row, row}},
+		{[]float64{1, 1}, [][]Dist{row, {New(UniformShape{}, d1), New(UniformShape{}, d1)}}},
+		{[]float64{1, 1}, [][]Dist{row, {New(UniformShape{}, d2)}}},
+		{[]float64{1}, [][]Dist{{{}}}},
+	}
+	for i, c := range cases {
+		if _, err := NewCorrelated(c.weights, c.components); !errors.Is(err, ErrBadCorrelated) {
+			t.Errorf("case %d: err = %v, want ErrBadCorrelated", i, err)
+		}
+	}
+	// Nested correlated components are rejected.
+	joint, _, _ := twoByTwo(t)
+	if _, err := NewCorrelated([]float64{1}, [][]Dist{{joint}}); !errors.Is(err, ErrBadCorrelated) {
+		t.Errorf("nested: err = %v", err)
+	}
+	// Size-equal categorical domains with different label sets must not mix.
+	rgb, err := schema.NewCategoricalDomain("red", "green", "blue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pets, err := schema.NewCategoricalDomain("cat", "dog", "fish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewCorrelated([]float64{1, 1}, [][]Dist{
+		{New(UniformShape{}, rgb)},
+		{New(UniformShape{}, pets)},
+	})
+	if !errors.Is(err, ErrBadCorrelated) {
+		t.Errorf("mismatched categorical labels: err = %v", err)
+	}
+}

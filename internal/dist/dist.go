@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+
+	"genas/internal/schema"
+)
+
+// Dist binds a Shape to a concrete attribute domain. It is an immutable
+// value: the engine, the selectivity measures and the experiment harness
+// pass it around freely.
+//
+// The normalization contract: domain value v occupies normalized position
+// (v − lo) / d where d is the domain size. On numeric domains this is the
+// usual affine rescaling; on integer and categorical domains each code v
+// owns the half-open cell [(v−lo)/d, (v−lo+1)/d), so points carry mass and
+// Mass sums cell masses. Sample inverts the shape's CDF through the same
+// mapping, which makes sampling and Mass agree by construction.
+type Dist struct {
+	shape Shape
+	dom   schema.Domain
+	joint *correlated // non-nil only for NewCorrelated results
+}
+
+// New binds a shape to a domain.
+func New(sh Shape, dom schema.Domain) Dist {
+	return Dist{shape: sh, dom: dom}
+}
+
+// Shape returns the underlying normalized-domain shape (nil for the zero
+// Dist).
+func (d Dist) Shape() Shape { return d.shape }
+
+// Domain returns the bound attribute domain.
+func (d Dist) Domain() schema.Domain { return d.dom }
+
+// span returns the normalization size d: interval length for numeric
+// domains, value count for integer and categorical ones.
+func (d Dist) span() float64 { return d.dom.Size() }
+
+// Mass returns the probability mass of the interval under the distribution.
+// Intervals are clipped to the domain; empty intervals have zero mass. On
+// numeric domains open and closed bounds coincide (points are atomless); on
+// integer and categorical domains the mass is the sum over the integer
+// values the interval contains.
+func (d Dist) Mass(iv schema.Interval) float64 {
+	if d.shape == nil {
+		return 0
+	}
+	c := iv.Intersect(d.dom.Interval())
+	if c.Empty() {
+		return 0
+	}
+	lo, span := d.dom.Lo(), d.span()
+	var x1, width float64
+	switch d.dom.Kind() {
+	case schema.KindInteger, schema.KindCategorical:
+		a := math.Ceil(c.Lo)
+		if c.LoOpen && a == c.Lo {
+			a++
+		}
+		b := math.Floor(c.Hi)
+		if c.HiOpen && b == c.Hi {
+			b--
+		}
+		if a > b {
+			return 0
+		}
+		x1 = (a - lo) / span
+		width = (b - a + 1) / span
+	default:
+		x1 = (c.Lo - lo) / span
+		width = (c.Hi - c.Lo) / span
+	}
+	return spanMass(d.shape, x1, width)
+}
+
+// Sample draws one value by inverse-CDF sampling. Numeric domains yield
+// continuous values in [lo, hi]; integer and categorical domains yield the
+// integral code whose cell the inverse CDF lands in, so the empirical value
+// frequencies converge to Mass of the corresponding point intervals.
+func (d Dist) Sample(rng *rand.Rand) float64 {
+	if d.shape == nil {
+		return d.dom.Lo()
+	}
+	x := quantile(d.shape, rng.Float64())
+	lo, hi, span := d.dom.Lo(), d.dom.Hi(), d.span()
+	switch d.dom.Kind() {
+	case schema.KindInteger, schema.KindCategorical:
+		v := lo + math.Floor(x*span)
+		if v > hi {
+			v = hi
+		}
+		return v
+	default:
+		v := lo + x*span
+		if v > hi {
+			v = hi
+		}
+		return v
+	}
+}

@@ -1,0 +1,266 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"genas/internal/schema"
+)
+
+func numDom(t *testing.T, lo, hi float64) schema.Domain {
+	t.Helper()
+	d, err := schema.NewNumericDomain(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func intDom(t *testing.T, lo, hi int) schema.Domain {
+	t.Helper()
+	d, err := schema.NewIntegerDomain(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// testDomains returns one domain per kind, with asymmetric bounds so
+// normalization bugs cannot hide.
+func testDomains(t *testing.T) []schema.Domain {
+	t.Helper()
+	cat, err := schema.NewCategoricalDomain("a", "b", "c", "d", "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []schema.Domain{
+		numDom(t, -30, 50),
+		intDom(t, 0, 99),
+		intDom(t, -5, 14),
+		cat,
+	}
+}
+
+// TestFullDomainMassOne: every catalog shape integrates to 1 over every
+// domain kind.
+func TestFullDomainMassOne(t *testing.T) {
+	doms := testDomains(t)
+	for _, name := range Names() {
+		sh, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dom := range doms {
+			d := New(sh, dom)
+			if m := d.Mass(dom.Interval()); math.Abs(m-1) > 1e-9 {
+				t.Errorf("%s over %s: full mass = %g", name, dom, m)
+			}
+		}
+	}
+}
+
+// TestPointMassesSumToOne: on integer domains the point masses of all values
+// partition the total mass.
+func TestPointMassesSumToOne(t *testing.T) {
+	dom := intDom(t, 0, 99)
+	for _, name := range []string{"equal", "gauss", "falling", "95% low", "d34", "d39"} {
+		sh, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(sh, dom)
+		sum := 0.0
+		for v := 0; v <= 99; v++ {
+			m := d.Mass(schema.Point(float64(v)))
+			if m < 0 {
+				t.Fatalf("%s: negative point mass at %d", name, v)
+			}
+			sum += m
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: point masses sum to %g", name, sum)
+		}
+	}
+}
+
+// TestUniformCellMassesExactlyEqual: equal-width cells of the uniform and
+// peak distributions carry bit-identical mass, so the selectivity measures
+// see exact ties and fall back to the natural value order.
+func TestUniformCellMassesExactlyEqual(t *testing.T) {
+	dom := intDom(t, 0, 99)
+	for _, name := range []string{"equal", "90% high", "95% low", "d1"} {
+		sh, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(sh, dom)
+		// Compare within regions covered by a single step segment.
+		ref := d.Mass(schema.Point(20))
+		for v := 21; v <= 29; v++ {
+			if m := d.Mass(schema.Point(float64(v))); m != ref {
+				t.Errorf("%s: cell %d mass %v != cell 20 mass %v", name, v, m, ref)
+			}
+		}
+	}
+}
+
+// TestMassOpenClosedBounds: integer-domain masses respect open endpoints.
+func TestMassOpenClosedBounds(t *testing.T) {
+	d := New(UniformShape{}, intDom(t, 0, 9))
+	cell := 0.1
+	cases := []struct {
+		iv   schema.Interval
+		want float64
+	}{
+		{schema.Closed(2, 4), 3 * cell},
+		{schema.CO(2, 4), 2 * cell},
+		{schema.OC(2, 4), 2 * cell},
+		{schema.Open(2, 4), 1 * cell},
+		{schema.Point(7), cell},
+		{schema.Open(3, 4), 0},
+		{schema.Closed(-5, 100), 1},
+		{schema.Closed(11, 20), 0},
+	}
+	for _, c := range cases {
+		if got := d.Mass(c.iv); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Mass(%s) = %g, want %g", c.iv, got, c.want)
+		}
+	}
+}
+
+// TestNumericPointsAtomless: numeric-domain points carry no mass.
+func TestNumericPointsAtomless(t *testing.T) {
+	d := New(Gauss(), numDom(t, 0, 100))
+	if m := d.Mass(schema.Point(50)); m != 0 {
+		t.Errorf("numeric point mass = %g", m)
+	}
+	closed := d.Mass(schema.Closed(20, 60))
+	open := d.Mass(schema.Open(20, 60))
+	if math.Abs(closed-open) > 1e-12 {
+		t.Errorf("open/closed differ on numeric domain: %g vs %g", closed, open)
+	}
+}
+
+// TestSampleConvergesToMass: empirical frequencies of Sample converge to
+// Mass — the property that makes the analytic TV4 scenario a valid
+// substitute for event posting. Checked as a total-variation bound on a
+// decile discretization, for representative shapes over numeric and integer
+// domains.
+func TestSampleConvergesToMass(t *testing.T) {
+	shapes := []string{"equal", "gauss", "relgauss-low", "falling", "95% low", "95% high", "d34", "d39", "d40"}
+	doms := []schema.Domain{numDom(t, -30, 50), intDom(t, 0, 99)}
+	rng := rand.New(rand.NewSource(99))
+	const n = 60000
+	for _, name := range shapes {
+		sh, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dom := range doms {
+			d := New(sh, dom)
+			const bins = 10
+			counts := make([]float64, bins)
+			for i := 0; i < n; i++ {
+				v := d.Sample(rng)
+				if !dom.Contains(v) {
+					t.Fatalf("%s over %s: sample %v outside domain", name, dom, v)
+				}
+				x := (v - dom.Lo()) / dom.Size()
+				b := int(x * bins)
+				if b >= bins {
+					b = bins - 1
+				}
+				counts[b]++
+			}
+			tv := 0.0
+			span := dom.Size()
+			for b := 0; b < bins; b++ {
+				lo := dom.Lo() + float64(b)/bins*span
+				hi := dom.Lo() + float64(b+1)/bins*span
+				var want float64
+				if dom.Kind() == schema.KindNumeric {
+					want = d.Mass(schema.CO(lo, hi))
+					if b == bins-1 {
+						want = d.Mass(schema.Closed(lo, hi))
+					}
+				} else {
+					want = d.Mass(schema.CO(math.Ceil(lo), math.Ceil(hi)))
+					if b == bins-1 {
+						want = d.Mass(schema.Closed(math.Ceil(lo), dom.Hi()))
+					}
+				}
+				tv += math.Abs(counts[b]/n - want)
+			}
+			tv /= 2
+			if tv > 0.015 {
+				t.Errorf("%s over %s: empirical TV from Mass = %.4f", name, dom, tv)
+			}
+		}
+	}
+}
+
+// TestSampleIntegerDomainsIntegral: integer and categorical domains sample
+// integral codes only.
+func TestSampleIntegerDomainsIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cat, err := schema.NewCategoricalDomain("x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dom := range []schema.Domain{intDom(t, -5, 14), cat} {
+		d := New(Gauss(), dom)
+		for i := 0; i < 2000; i++ {
+			v := d.Sample(rng)
+			if v != math.Trunc(v) || !dom.Contains(v) {
+				t.Fatalf("sample %v not an in-domain code of %s", v, dom)
+			}
+		}
+	}
+}
+
+// TestZeroDist: the zero value is inert.
+func TestZeroDist(t *testing.T) {
+	var d Dist
+	if m := d.Mass(schema.Closed(0, 1)); m != 0 {
+		t.Errorf("zero dist mass = %g", m)
+	}
+	if s := d.Sample(rand.New(rand.NewSource(1))); s != 0 {
+		t.Errorf("zero dist sample = %g", s)
+	}
+	if d.Shape() != nil {
+		t.Error("zero dist has a shape")
+	}
+}
+
+// TestQuantileMonotone: the generic sampler's inverse CDF is monotone and
+// consistent with the CDF for both analytic and bisection paths.
+func TestQuantileMonotone(t *testing.T) {
+	shapes := []Shape{
+		UniformShape{}, Gauss(), RelocatedGauss(0.25), fallingShape{},
+		PeakLow(0.95), mustByName(t, "d17"), mustByName(t, "relgauss-low"),
+	}
+	for _, sh := range shapes {
+		prev := 0.0
+		for i := 0; i <= 100; i++ {
+			u := float64(i) / 100
+			x := quantile(sh, u)
+			if x < prev-1e-12 {
+				t.Fatalf("%s: quantile not monotone at u=%g", sh.Name(), u)
+			}
+			prev = x
+			if got := sh.CDF(x); math.Abs(got-u) > 1e-6 && u > 0 && u < 1 {
+				t.Fatalf("%s: CDF(Quantile(%g)) = %g", sh.Name(), u, got)
+			}
+		}
+	}
+}
+
+func mustByName(t *testing.T, name string) Shape {
+	t.Helper()
+	sh, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}

@@ -1,0 +1,74 @@
+// Package dist models the event and profile value distributions that drive
+// every selectivity measure of Hinze & Bittner, "Efficient Distribution-Based
+// Event Filtering" (ICDCS Workshops 2002).
+//
+// # Shapes and distributions
+//
+// A Shape is a probability distribution over the normalized unit interval
+// [0, 1]: it exposes a cumulative distribution function with CDF(0) = 0 and
+// CDF(1) = 1. Shapes are domain-free so one catalog entry ("gauss", "95%
+// low", "d39", …) can be bound to any attribute domain. Binding happens via
+// New, which pairs a Shape with a schema.Domain and yields a Dist — the
+// object the rest of the system works with:
+//
+//   - Dist.Mass(iv) integrates the distribution over a subrange interval of
+//     the attribute axis. On numeric domains single points are atomless; on
+//     integer and categorical domains every code v owns the normalized cell
+//     [(v−lo)/d, (v−lo+1)/d), so equality profiles receive real mass.
+//   - Dist.Sample(rng) draws a value by inverse-CDF sampling through exactly
+//     the same normalization, so empirical event streams converge to the
+//     analytic masses — the property that makes scenario TV4 ("all possible
+//     events, weighted by the event distribution") a valid substitute for
+//     posting millions of events.
+//
+// # The catalog
+//
+// ByName resolves the paper's distribution vocabulary (§4.3, Fig. 3):
+//
+//   - "equal" — the uniform distribution (UniformShape).
+//   - "gauss" — a truncated Gauss centered mid-domain; "relgauss-low" and
+//     "relgauss-high" are RelocatedGauss variants whose mean sits at 10% or
+//     90% of the domain, concentrating mass on the zero-subdomains of
+//     centered profile corpora (the Fig. 6 event streams).
+//   - "90% high", "95% high", "90% low", "95% low" — PeakHigh/PeakLow step
+//     distributions placing the named fraction of the mass on the top or
+//     bottom decile ("95% of the events fall into the peak region").
+//   - "falling" — linearly decreasing density 2(1−x).
+//   - "d1" … "d42" — the exemplary step distributions of Fig. 3: ramps,
+//     plateaus, U-shapes, bimodals and sharp peaks that the figure
+//     reproductions (Fig. 4/5) sweep over.
+//
+// NewStepAt builds ad-hoc step distributions with exact masses on given
+// cut positions — the tests reconstruct the paper's Examples 2–4 with it.
+// NewCorrelated builds mixture-of-product joints for studying how the
+// independence assumption of the analytic model degrades.
+//
+// # How the measures consume distributions
+//
+// The selectivity package evaluates Measures V1–V3 by ranking every tree
+// bucket with Dist.Mass: V1 ranks by event probability P_e, V2 by profile
+// probability P_p, V3 by the product. Measures A1–A3 order the tree levels:
+// A2 weighs each attribute's zero-subdomain D₀ with the event mass
+// Dist.Mass(gap) of its gaps, and A3 minimizes the full analytic cost, again
+// integrating Mass over every bucket. MassOn is the normalized-domain
+// shortcut behind the Fig. 3 decile table.
+//
+// # The adaptation loop
+//
+// The paper's filter "can either work based on predefined distributions for
+// the observed events, or it has to maintain a history of events". The
+// history mode is Histogram → Snapshot → TotalVariation:
+//
+//  1. a Histogram per attribute counts observed events into equal-width bins
+//     (concurrent-safe, lock-free);
+//  2. Snapshot freezes the counts into a normalized step Shape;
+//  3. TotalVariation compares the snapshot against the Shape the engine was
+//     last optimized for; when the drift exceeds the policy threshold the
+//     adaptive component rebinds the snapshots with New and restructures the
+//     tree (cheap value reordering per V1/V3, optionally a full A2 rebuild).
+//
+// TotalVariation is the standard total-variation distance on a common
+// equal-width discretization, always in [0, 1], and 0 for identical shapes —
+// the hysteresis the paper asks for ("a fragile measure, not robust to
+// changes in the distributions") falls out of thresholding it.
+package dist

@@ -1,0 +1,103 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"genas/internal/schema"
+)
+
+// ErrBadHistogram reports invalid histogram construction.
+var ErrBadHistogram = errors.New("dist: invalid histogram")
+
+// Histogram is the adaptive component's event history for one attribute: an
+// equal-width bin counter over the domain. Observe is lock-free and safe for
+// concurrent use with Snapshot, so the hot publish path never serializes on
+// statistics bookkeeping.
+type Histogram struct {
+	dom    schema.Domain
+	counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// over the domain.
+func NewHistogram(dom schema.Domain, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("%w: bins = %d", ErrBadHistogram, bins)
+	}
+	if dom.Kind() == 0 {
+		return nil, fmt.Errorf("%w: unset domain", ErrBadHistogram)
+	}
+	return &Histogram{dom: dom, counts: make([]int64, bins)}, nil
+}
+
+// Bins returns the bin count.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Observe counts one value. Values outside the domain clamp to the nearest
+// bin and NaN is dropped, so a misbehaving publisher cannot corrupt the
+// history.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	x := (v - h.dom.Lo()) / h.dom.Size()
+	// Clamp in float space: converting an out-of-range float (±Inf, or a
+	// huge outlier) to int is implementation-defined in Go.
+	f := x * float64(len(h.counts))
+	if !(f > 0) {
+		f = 0
+	}
+	if f >= float64(len(h.counts)) {
+		f = float64(len(h.counts) - 1)
+	}
+	bin := int(f)
+	atomic.AddInt64(&h.counts[bin], 1)
+	atomic.AddInt64(&h.total, 1)
+}
+
+// N returns the number of observed values.
+func (h *Histogram) N() uint64 {
+	return uint64(atomic.LoadInt64(&h.total))
+}
+
+// Snapshot freezes the current counts into a normalized step shape. With no
+// history yet it returns the uniform shape — the same prior the adaptive
+// component starts from, so an empty histogram never reports drift.
+func (h *Histogram) Snapshot() Shape {
+	weights := make([]float64, len(h.counts))
+	total := 0.0
+	for i := range h.counts {
+		c := float64(atomic.LoadInt64(&h.counts[i]))
+		weights[i] = c
+		total += c
+	}
+	if total <= 0 {
+		return UniformShape{}
+	}
+	cuts := make([]float64, len(weights)+1)
+	for i := range cuts {
+		cuts[i] = float64(i) / float64(len(weights))
+	}
+	s, err := NewStepAt("hist", cuts, weights)
+	if err != nil {
+		// Unreachable: cuts and weights are valid by construction.
+		return UniformShape{}
+	}
+	return s
+}
+
+// Shape is Snapshot; it exists so histograms satisfy the same reading
+// pattern as Dist.
+func (h *Histogram) Shape() Shape { return h.Snapshot() }
+
+// Reset clears all counts.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		atomic.StoreInt64(&h.counts[i], 0)
+	}
+	atomic.StoreInt64(&h.total, 0)
+}

@@ -1,0 +1,160 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"genas/internal/schema"
+)
+
+func TestNewHistogramErrors(t *testing.T) {
+	dom := intDom(t, 0, 9)
+	if _, err := NewHistogram(dom, 0); !errors.Is(err, ErrBadHistogram) {
+		t.Errorf("bins=0: %v", err)
+	}
+	if _, err := NewHistogram(dom, -3); !errors.Is(err, ErrBadHistogram) {
+		t.Errorf("bins=-3: %v", err)
+	}
+	if _, err := NewHistogram(schema.Domain{}, 4); !errors.Is(err, ErrBadHistogram) {
+		t.Errorf("unset domain: %v", err)
+	}
+	h, err := NewHistogram(dom, 5)
+	if err != nil || h.Bins() != 5 {
+		t.Fatalf("h=%v err=%v", h, err)
+	}
+}
+
+// TestHistogramEmptySnapshotIsUniform: no history means the uniform prior,
+// so a fresh adaptor never reports drift against its own starting point.
+func TestHistogramEmptySnapshotIsUniform(t *testing.T) {
+	h, err := NewHistogram(intDom(t, 0, 99), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv := TotalVariation(h.Snapshot(), UniformShape{}, 16); tv != 0 {
+		t.Errorf("empty snapshot drifts by %g", tv)
+	}
+	if h.N() != 0 {
+		t.Errorf("N = %d", h.N())
+	}
+}
+
+// TestHistogramConvergesToSource: observing a stream reproduces its shape.
+func TestHistogramConvergesToSource(t *testing.T) {
+	dom := intDom(t, 0, 99)
+	for _, name := range []string{"equal", "gauss", "95% low", "d34"} {
+		sh := mustByName(t, name)
+		src := New(sh, dom)
+		h, err := NewHistogram(dom, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(21))
+		const n = 40000
+		for i := 0; i < n; i++ {
+			h.Observe(src.Sample(rng))
+		}
+		if h.N() != n {
+			t.Fatalf("N = %d", h.N())
+		}
+		if tv := TotalVariation(h.Snapshot(), sh, 10); tv > 0.02 {
+			t.Errorf("%s: snapshot TV from source = %g", name, tv)
+		}
+		if tv := TotalVariation(h.Shape(), h.Snapshot(), 10); tv != 0 {
+			t.Errorf("%s: Shape and Snapshot disagree by %g", name, tv)
+		}
+	}
+}
+
+// TestHistogramClampsOutliers: out-of-domain values land in the edge bins
+// instead of corrupting memory or being lost.
+func TestHistogramClampsOutliers(t *testing.T) {
+	h, err := NewHistogram(numDom(t, 0, 10), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(-100)
+	h.Observe(math.Inf(1)) // clamps to the high edge bin
+	h.Observe(10)          // hi boundary maps into the last bin
+	h.Observe(math.NaN())  // dropped, not binned
+	if h.N() != 3 {
+		t.Errorf("N = %d", h.N())
+	}
+	s := h.Snapshot()
+	if m := MassOn(s, 0, 0.25); math.Abs(m-1.0/3) > 1e-9 {
+		t.Errorf("low edge bin mass = %g", m)
+	}
+	if m := MassOn(s, 0.75, 1); math.Abs(m-2.0/3) > 1e-9 {
+		t.Errorf("high edge bin mass = %g", m)
+	}
+}
+
+// TestHistogramConcurrentObserve: Observe is safe under concurrency and no
+// count is lost.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h, err := NewHistogram(intDom(t, 0, 99), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(float64(rng.Intn(100)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.N() != workers*per {
+		t.Errorf("N = %d, want %d", h.N(), workers*per)
+	}
+}
+
+// TestHistogramReset clears the history back to the uniform prior.
+func TestHistogramReset(t *testing.T) {
+	h, err := NewHistogram(intDom(t, 0, 9), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	h.Reset()
+	if h.N() != 0 {
+		t.Errorf("N after reset = %d", h.N())
+	}
+	if tv := TotalVariation(h.Snapshot(), UniformShape{}, 5); tv != 0 {
+		t.Errorf("reset snapshot drifts by %g", tv)
+	}
+}
+
+// TestHistogramDriftDetection: the adaptation loop's core signal — a
+// snapshot of a drifted stream is far from the previously applied shape but
+// close to the true new source.
+func TestHistogramDriftDetection(t *testing.T) {
+	dom := intDom(t, 0, 99)
+	applied := Shape(UniformShape{})
+	src := New(PeakHigh(0.95), dom)
+	h, err := NewHistogram(dom, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 5000; i++ {
+		h.Observe(src.Sample(rng))
+	}
+	snap := h.Snapshot()
+	if tv := TotalVariation(snap, applied, 16); tv < 0.5 {
+		t.Errorf("drifted stream TV from uniform prior = %g, want large", tv)
+	}
+	if tv := TotalVariation(snap, src.Shape(), 16); tv > 0.1 {
+		t.Errorf("snapshot TV from true source = %g, want small", tv)
+	}
+}

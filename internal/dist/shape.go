@@ -1,0 +1,394 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Shape is a probability distribution over the normalized domain [0, 1],
+// described by its cumulative distribution function. Implementations must be
+// monotone with CDF(0) = 0 and CDF(1) = 1; callers may pass arguments outside
+// [0, 1], which clamp.
+type Shape interface {
+	// Name identifies the shape in the catalog and in experiment tables.
+	Name() string
+	// CDF returns the cumulative probability mass on [0, x].
+	CDF(x float64) float64
+}
+
+// quantiler is implemented by shapes with an analytic inverse CDF; the
+// generic sampler falls back to bisection otherwise.
+type quantiler interface {
+	Quantile(u float64) float64
+}
+
+// spanMasser is implemented by shapes that can report the mass of
+// [x1, x1+width] exactly in terms of the width. Differencing CDF values
+// poisons equal-width cells with ~1 ulp of noise ((v+1)/d − v/d is not
+// constant in floating point), which would turn the selectivity measures'
+// mass ties into a pseudo-random permutation; the width-based path keeps
+// equal cells exactly equal so ordering falls back to the paper's "natural
+// order of the values" tiebreak.
+type spanMasser interface {
+	massSpan(x1, width float64) float64
+}
+
+// spanMass returns the mass of [x1, x1+width], using the shape's exact
+// width-based accounting when available.
+func spanMass(s Shape, x1, width float64) float64 {
+	if width <= 0 {
+		return 0
+	}
+	x1 = clamp01(x1)
+	if sm, ok := s.(spanMasser); ok {
+		m := sm.massSpan(x1, width)
+		if m < 0 {
+			return 0
+		}
+		return m
+	}
+	m := s.CDF(clamp01(x1+width)) - s.CDF(x1)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Errors reported by shape construction and catalog lookup.
+var (
+	ErrBadStep     = errors.New("dist: invalid step distribution")
+	ErrUnknownDist = errors.New("dist: unknown distribution name")
+)
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// MassOn returns the probability mass of the shape on the normalized
+// interval [lo, hi] ⊆ [0, 1].
+func MassOn(s Shape, lo, hi float64) float64 {
+	lo, hi = clamp01(lo), clamp01(hi)
+	if hi <= lo {
+		return 0
+	}
+	m := s.CDF(hi) - s.CDF(lo)
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// TotalVariation returns the total-variation distance between two shapes on
+// a common equal-width discretization into bins cells. The result is in
+// [0, 1]; identical shapes yield exactly 0.
+func TotalVariation(a, b Shape, bins int) float64 {
+	if bins < 1 {
+		bins = 1
+	}
+	sum := 0.0
+	for i := 0; i < bins; i++ {
+		lo := float64(i) / float64(bins)
+		hi := float64(i+1) / float64(bins)
+		sum += math.Abs(MassOn(a, lo, hi) - MassOn(b, lo, hi))
+	}
+	return clamp01(sum / 2)
+}
+
+// quantile inverts a shape's CDF: it returns x with CDF(x) = u, preferring
+// the shape's analytic inverse and falling back to bisection (the CDF is
+// monotone, so 52 halvings pin x to full float precision).
+func quantile(s Shape, u float64) float64 {
+	u = clamp01(u)
+	if q, ok := s.(quantiler); ok {
+		return clamp01(q.Quantile(u))
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 52; i++ {
+		mid := (lo + hi) / 2
+		if s.CDF(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// --- Uniform ---------------------------------------------------------------------
+
+// UniformShape is the equal distribution: every value of the domain is
+// equally probable (catalog name "equal").
+type UniformShape struct{}
+
+// Name returns "equal".
+func (UniformShape) Name() string { return "equal" }
+
+// CDF of the uniform distribution is the identity on [0, 1].
+func (UniformShape) CDF(x float64) float64 { return clamp01(x) }
+
+// Quantile of the uniform distribution is the identity.
+func (UniformShape) Quantile(u float64) float64 { return clamp01(u) }
+
+// massSpan of the uniform distribution is the width itself, so equal-width
+// cells carry exactly equal mass.
+func (UniformShape) massSpan(x1, width float64) float64 {
+	return math.Min(width, 1-x1)
+}
+
+// --- Step distributions ----------------------------------------------------------
+
+// stepShape is piecewise-uniform: weights[i] of the total mass spreads
+// uniformly over [cuts[i], cuts[i+1]). Step shapes carry exact masses on
+// their cut positions, which the paper's worked examples rely on.
+type stepShape struct {
+	name string
+	cuts []float64 // len k+1, ascending, cuts[0]=0, cuts[k]=1
+	w    []float64 // len k, normalized segment weights
+	cum  []float64 // len k+1, cum[0]=0, cum[k]=1
+}
+
+// NewStepAt builds a step distribution over the normalized domain. cuts must
+// be strictly ascending, spanning 0 to 1, with len(cuts) == len(weights)+1;
+// weights must be non-negative, finite, with positive sum (they are
+// normalized internally).
+func NewStepAt(name string, cuts []float64, weights []float64) (Shape, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrBadStep)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%w: no weights", ErrBadStep)
+	}
+	if len(cuts) != len(weights)+1 {
+		return nil, fmt.Errorf("%w: %d cuts for %d weights (want %d)",
+			ErrBadStep, len(cuts), len(weights), len(weights)+1)
+	}
+	const eps = 1e-9
+	if math.Abs(cuts[0]) > eps || math.Abs(cuts[len(cuts)-1]-1) > eps {
+		return nil, fmt.Errorf("%w: cuts must span [0,1], got [%g,%g]",
+			ErrBadStep, cuts[0], cuts[len(cuts)-1])
+	}
+	// Snap the endpoints before the ascending check so near-boundary inputs
+	// cannot collapse a segment after validation.
+	snapped := append([]float64(nil), cuts...)
+	snapped[0], snapped[len(snapped)-1] = 0, 1
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d] = %g", ErrBadStep, i, w)
+		}
+		if snapped[i+1] <= snapped[i] {
+			return nil, fmt.Errorf("%w: cuts not ascending at %d (%g, %g)",
+				ErrBadStep, i, cuts[i], cuts[i+1])
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("%w: weights sum to %g", ErrBadStep, total)
+	}
+	s := &stepShape{name: name, cuts: snapped}
+	s.w = make([]float64, len(weights))
+	s.cum = make([]float64, len(cuts))
+	for i, w := range weights {
+		s.w[i] = w / total
+		s.cum[i+1] = s.cum[i] + s.w[i]
+	}
+	s.cum[len(weights)] = 1 // absorb normalization round-off
+	return s, nil
+}
+
+// mustStep is NewStepAt for the static catalog (panics on error).
+func mustStep(name string, cuts, weights []float64) Shape {
+	s, err := NewStepAt(name, cuts, weights)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// decileStep spreads the ten weights over the ten deciles of [0, 1].
+func decileStep(name string, weights ...float64) Shape {
+	cuts := make([]float64, len(weights)+1)
+	for i := range cuts {
+		cuts[i] = float64(i) / float64(len(weights))
+	}
+	return mustStep(name, cuts, weights)
+}
+
+// Name returns the step shape's catalog name.
+func (s *stepShape) Name() string { return s.name }
+
+// CDF interpolates linearly inside the cell containing x, returning the
+// exact cumulative weight at every cut position.
+func (s *stepShape) CDF(x float64) float64 {
+	x = clamp01(x)
+	// Find the last cut ≤ x.
+	i := sort.SearchFloat64s(s.cuts, x)
+	if i < len(s.cuts) && s.cuts[i] == x {
+		return s.cum[i]
+	}
+	i-- // s.cuts[i] < x < s.cuts[i+1]
+	return s.cum[i] + (x-s.cuts[i])/(s.cuts[i+1]-s.cuts[i])*(s.cum[i+1]-s.cum[i])
+}
+
+// massSpan keeps equal-width cells inside one segment at exactly equal
+// mass: mass = segment density × width, computed with the same floats for
+// every such cell. Spans crossing a cut fall back to CDF differencing.
+func (s *stepShape) massSpan(x1, width float64) float64 {
+	i := sort.SearchFloat64s(s.cuts, x1)
+	if i == len(s.cuts) || s.cuts[i] != x1 {
+		i-- // s.cuts[i] < x1 < s.cuts[i+1]
+	}
+	if i < len(s.w) && x1+width <= s.cuts[i+1] {
+		return s.w[i] / (s.cuts[i+1] - s.cuts[i]) * width
+	}
+	return s.CDF(clamp01(x1+width)) - s.CDF(x1)
+}
+
+// Quantile inverts the step CDF exactly; mass-free cells are skipped.
+func (s *stepShape) Quantile(u float64) float64 {
+	u = clamp01(u)
+	i := sort.SearchFloat64s(s.cum, u)
+	if i < len(s.cum) && s.cum[i] == u {
+		// Land on the cut; for u inside a flat run this is the first cell
+		// boundary with that cumulative mass.
+		return s.cuts[i]
+	}
+	i-- // s.cum[i] < u < s.cum[i+1], so the cell has positive mass
+	return s.cuts[i] + (u-s.cum[i])/(s.cum[i+1]-s.cum[i])*(s.cuts[i+1]-s.cuts[i])
+}
+
+// --- Peaks -----------------------------------------------------------------------
+
+// fmtPercent renders a peak fraction as a whole percentage when possible.
+func fmtPercent(p float64) string {
+	pct := p * 100
+	if r := math.Round(pct); math.Abs(pct-r) < 1e-9 {
+		pct = r
+	}
+	return fmt.Sprintf("%g%%", pct)
+}
+
+// PeakLow concentrates fraction p of the mass on the bottom decile of the
+// domain, the remainder spreading uniformly ("95% low"). p clamps to
+// [0.01, 0.99].
+func PeakLow(p float64) Shape {
+	p = math.Min(0.99, math.Max(0.01, p))
+	return mustStep(fmtPercent(p)+" low", []float64{0, 0.1, 1}, []float64{p, 1 - p})
+}
+
+// PeakHigh concentrates fraction p of the mass on the top decile of the
+// domain ("95% high"). p clamps to [0.01, 0.99].
+func PeakHigh(p float64) Shape {
+	p = math.Min(0.99, math.Max(0.01, p))
+	return mustStep(fmtPercent(p)+" high", []float64{0, 0.9, 1}, []float64{1 - p, p})
+}
+
+// --- Gauss -----------------------------------------------------------------------
+
+// gaussSigma is the catalog's bell width relative to the domain: wide enough
+// that a centered Gauss covers the middle half, narrow enough that a
+// relocated Gauss leaves the far half nearly empty.
+const gaussSigma = 0.15
+
+// gaussShape is a Gauss truncated to [0, 1].
+type gaussShape struct {
+	name      string
+	mu, sigma float64
+	phi0      float64 // Φ((0−μ)/σ)
+	span      float64 // Φ((1−μ)/σ) − Φ((0−μ)/σ)
+}
+
+func newGauss(name string, mu, sigma float64) *gaussShape {
+	g := &gaussShape{name: name, mu: mu, sigma: sigma}
+	g.phi0 = stdNormalCDF((0 - mu) / sigma)
+	g.span = stdNormalCDF((1-mu)/sigma) - g.phi0
+	return g
+}
+
+// Gauss returns the catalog Gauss: a bell centered mid-domain.
+func Gauss() Shape { return newGauss("gauss", 0.5, gaussSigma) }
+
+// RelocatedGauss returns a Gauss whose center is relocated to the given
+// normalized position — the paper's "relocated Gauss" whose mass
+// concentrates on the zero-subdomains of centered profile corpora.
+func RelocatedGauss(center float64) Shape {
+	center = clamp01(center)
+	return newGauss(fmt.Sprintf("relgauss@%g", center), center, gaussSigma)
+}
+
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Name returns the shape's catalog name.
+func (g *gaussShape) Name() string { return g.name }
+
+// CDF of the truncated Gauss.
+func (g *gaussShape) CDF(x float64) float64 {
+	x = clamp01(x)
+	return clamp01((stdNormalCDF((x-g.mu)/g.sigma) - g.phi0) / g.span)
+}
+
+// Quantile inverts the truncated Gauss analytically via Erfinv.
+func (g *gaussShape) Quantile(u float64) float64 {
+	p := g.phi0 + clamp01(u)*g.span
+	z := math.Sqrt2 * math.Erfinv(2*p-1)
+	return clamp01(g.mu + g.sigma*z)
+}
+
+// --- Falling ---------------------------------------------------------------------
+
+// fallingShape has the linearly decreasing density 2(1−x): frequent low
+// values, rare high values (catalog name "falling").
+type fallingShape struct{}
+
+// Name returns "falling".
+func (fallingShape) Name() string { return "falling" }
+
+// CDF of the triangular density 2(1−x) is x(2−x).
+func (fallingShape) CDF(x float64) float64 {
+	x = clamp01(x)
+	return x * (2 - x)
+}
+
+// Quantile solves x(2−x) = u for x ∈ [0, 1].
+func (fallingShape) Quantile(u float64) float64 {
+	return 1 - math.Sqrt(1-clamp01(u))
+}
+
+// --- Named wrapper ---------------------------------------------------------------
+
+// named aliases a shape under a catalog key ("relgauss-low") while keeping
+// its behavior, so ByName(name).Name() == name for every registry entry.
+type named struct {
+	Shape
+	key string
+}
+
+// Name returns the catalog key.
+func (n named) Name() string { return n.key }
+
+// Quantile forwards the wrapped shape's analytic inverse when present.
+func (n named) Quantile(u float64) float64 {
+	if q, ok := n.Shape.(quantiler); ok {
+		return q.Quantile(u)
+	}
+	return quantile(bare{n.Shape}, u)
+}
+
+// massSpan forwards the wrapped shape's exact width accounting.
+func (n named) massSpan(x1, width float64) float64 {
+	return spanMass(n.Shape, x1, width)
+}
+
+// bare strips the quantiler interface so quantile() bisects the CDF instead
+// of recursing into named.Quantile.
+type bare struct{ Shape }
