@@ -1,17 +1,22 @@
-// Command genas is the GENAS client: subscribe to profiles, publish events,
-// query quenching and statistics against a running genasd.
+// Command genas is the GENAS client: subscribe to profiles, publish events
+// (singly or batched), query quenching and statistics against a running
+// genasd.
 //
 // Usage:
 //
 //	genas -addr localhost:7452 sub 'alarm' 'profile(temperature >= 35)'
 //	genas -addr localhost:7452 pub 'temperature=40; humidity=90; radiation=5'
+//	genas -addr localhost:7452 pub 'temperature=40; …' 'temperature=41; …'   # one batch frame
+//	genas -addr localhost:7452 pub -                                         # batch from stdin, one event per line
 //	genas -addr localhost:7452 quench temperature 0 10
 //	genas -addr localhost:7452 stats
 //	genas -addr localhost:7452 schema
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,19 +32,32 @@ import (
 
 const rpcTimeout = 5 * time.Second
 
+// flushEvery bounds how many events the CLI buffers before publishing a
+// batch, keeping streaming memory O(batch). The wire client owns the
+// protocol's frame-size cap and splits oversized frames itself, so this is
+// purely a memory/progress bound, not a size model.
+const flushEvery = 4096
+
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genas", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr = flag.String("addr", "localhost:7452", "daemon address")
-		wait = flag.Duration("wait", 0, "after subscribing, listen for notifications this long (0 = forever)")
+		addr = fs.String("addr", "localhost:7452", "daemon address")
+		wait = fs.Duration("wait", 0, "after subscribing, listen for notifications this long (0 = forever)")
 	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "genas: ", 0)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(stderr, "genas: ", 0)
 
-	args := flag.Args()
+	args := fs.Args()
 	if len(args) == 0 {
 		logger.Print("usage: genas [flags] sub|pub|quench|stats|schema …")
 		return 2
@@ -70,25 +88,47 @@ func run() int {
 			logger.Print(err)
 			return 1
 		}
-		fmt.Printf("subscribed %s\n", args[1])
-		return listen(c, *wait)
+		fmt.Fprintf(stdout, "subscribed %s\n", args[1])
+		return listen(c, *wait, stdout)
 
 	case "pub":
 		if len(args) < 2 {
-			logger.Print("usage: genas pub 'attr=value; attr=value; …'")
+			logger.Print("usage: genas pub 'attr=value; …' ['attr=value; …' …] | pub -")
 			return 2
 		}
-		ev, err := parseEventArg(args[1])
+		if len(args) == 2 && args[1] == "-" {
+			return streamPublish(c, stdin, stdout, logger)
+		}
+		for _, a := range args[1:] {
+			if a == "-" {
+				logger.Print("'-' (read events from stdin) must be the only pub operand")
+				return 2
+			}
+		}
+		events, err := collectEvents(args[1:])
 		if err != nil {
 			logger.Print(err)
 			return 2
 		}
-		matched, err := c.Publish(ev, rpcTimeout)
-		if err != nil {
-			logger.Print(err)
-			return 1
+		if len(events) == 1 {
+			matched, err := c.Publish(events[0], rpcTimeout)
+			if err != nil {
+				logger.Print(err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "matched %d profile(s)\n", matched)
+			return 0
 		}
-		fmt.Printf("matched %d profile(s)\n", matched)
+		fb := &frameBatcher{c: c}
+		for _, ev := range events {
+			if err := fb.add(ev); err != nil {
+				return fb.fail(logger, err)
+			}
+		}
+		if err := fb.flush(); err != nil {
+			return fb.fail(logger, err)
+		}
+		fmt.Fprintf(stdout, "published %d events, matched %d profile(s) total\n", fb.published, fb.total)
 		return 0
 
 	case "quench":
@@ -107,7 +147,7 @@ func run() int {
 			logger.Print(err)
 			return 1
 		}
-		fmt.Printf("quenched=%v\n", q)
+		fmt.Fprintf(stdout, "quenched=%v\n", q)
 		return 0
 
 	case "stats":
@@ -116,12 +156,12 @@ func run() int {
 			logger.Print(err)
 			return 1
 		}
-		fmt.Printf("subscriptions: %d\npublished: %d\ndelivered: %d\ndropped: %d\n",
+		fmt.Fprintf(stdout, "subscriptions: %d\npublished: %d\ndelivered: %d\ndropped: %d\n",
 			st.Subscriptions, st.Published, st.Delivered, st.Dropped)
-		fmt.Printf("filter events: %d\nfilter ops: %d\nmean ops/event: %.3f\n",
+		fmt.Fprintf(stdout, "filter events: %d\nfilter ops: %d\nmean ops/event: %.3f\n",
 			st.FilterEvents, st.FilterOps, st.MeanOps)
 		if st.Restructures > 0 {
-			fmt.Printf("adaptive restructures: %d\n", st.Restructures)
+			fmt.Fprintf(stdout, "adaptive restructures: %d\n", st.Restructures)
 		}
 		return 0
 
@@ -133,10 +173,10 @@ func run() int {
 		}
 		for _, a := range attrs {
 			if len(a.Labels) > 0 {
-				fmt.Printf("%s: cat{%s}\n", a.Name, strings.Join(a.Labels, ","))
+				fmt.Fprintf(stdout, "%s: cat{%s}\n", a.Name, strings.Join(a.Labels, ","))
 				continue
 			}
-			fmt.Printf("%s: %s[%g,%g]\n", a.Name, a.Kind, a.Lo, a.Hi)
+			fmt.Fprintf(stdout, "%s: %s[%g,%g]\n", a.Name, a.Kind, a.Lo, a.Hi)
 		}
 		return 0
 
@@ -148,17 +188,17 @@ func run() int {
 		}
 		for _, p := range profiles {
 			if p.Priority > 0 {
-				fmt.Printf("%s (priority %g): %s\n", p.ID, p.Priority, p.Expr)
+				fmt.Fprintf(stdout, "%s (priority %g): %s\n", p.ID, p.Priority, p.Expr)
 				continue
 			}
-			fmt.Printf("%s: %s\n", p.ID, p.Expr)
+			fmt.Fprintf(stdout, "%s: %s\n", p.ID, p.Expr)
 		}
 		return 0
 
 	case "export":
 		// Write the daemon's schema and profile corpus as a codec envelope
 		// to stdout.
-		if err := exportEnvelope(c, os.Stdout); err != nil {
+		if err := exportEnvelope(c, stdout); err != nil {
 			logger.Print(err)
 			return 1
 		}
@@ -167,17 +207,159 @@ func run() int {
 	case "import":
 		// Read a codec envelope from stdin and subscribe every profile on
 		// this connection (the subscriptions live as long as the process).
-		n, err := importEnvelope(c, os.Stdin)
+		n, err := importEnvelope(c, stdin)
 		if err != nil {
 			logger.Print(err)
 			return 1
 		}
-		fmt.Printf("imported %d profiles\n", n)
-		return listen(c, *wait)
+		fmt.Fprintf(stdout, "imported %d profiles\n", n)
+		return listen(c, *wait, stdout)
 
 	default:
 		logger.Printf("unknown command %q", args[0])
 		return 2
+	}
+}
+
+// collectEvents parses the pub operands into event payloads: each argument
+// is one event.
+func collectEvents(args []string) ([]map[string]float64, error) {
+	events := make([]map[string]float64, len(args))
+	for i, arg := range args {
+		ev, err := parseEventArg(arg)
+		if err != nil {
+			return nil, err
+		}
+		events[i] = ev
+	}
+	return events, nil
+}
+
+// frameBatcher accumulates events and flushes a publish_batch every
+// flushEvery events, so both pub modes (argv operands and stdin streaming)
+// share one batching policy.
+type frameBatcher struct {
+	c         *wire.Client
+	chunk     []map[string]float64
+	published int
+	total     int
+}
+
+// add queues one event, flushing first when the buffer is full.
+func (fb *frameBatcher) add(ev map[string]float64) error {
+	if len(fb.chunk) >= flushEvery {
+		if err := fb.flush(); err != nil {
+			return err
+		}
+	}
+	fb.chunk = append(fb.chunk, ev)
+	return nil
+}
+
+// flush publishes the pending chunk as one frame. On a frame error, counts
+// the client reports as committed still accrue to published/total.
+func (fb *frameBatcher) flush() error {
+	if len(fb.chunk) == 0 {
+		return nil
+	}
+	counts, err := fb.c.PublishBatch(fb.chunk, rpcTimeout)
+	for _, n := range counts {
+		fb.total += n
+	}
+	fb.published += len(counts)
+	if err != nil {
+		return err
+	}
+	fb.chunk = fb.chunk[:0]
+	return nil
+}
+
+// fail reports a publish error plus how much of the batch is known to have
+// landed. The failed frame itself may or may not have been committed (for
+// example a response timeout after the server already processed it), so the
+// count is a lower bound — stated as such, because a confident number would
+// invite a retry that double-publishes.
+func (fb *frameBatcher) fail(logger *log.Logger, err error) int {
+	logger.Print(err)
+	if fb.published > 0 {
+		logger.Printf("at least %d events (matching %d profiles) were already published before the error; the failed frame may also have been committed server-side, so blindly retrying the same input can double-publish", fb.published, fb.total)
+	} else {
+		logger.Print("the failed frame may still have been committed server-side; check the daemon's stats before retrying")
+	}
+	return 1
+}
+
+// streamFlushInterval bounds how long a streamed event may sit buffered: a
+// slow producer (a live pipeline emitting a few events per minute) must not
+// wait for the count threshold or EOF before its events publish.
+const streamFlushInterval = 250 * time.Millisecond
+
+// streamPublish reads one event per line from stdin (empty lines skipped)
+// and publishes them in publish_batch frames as the batch fills — or on an
+// idle timer, so a live low-rate pipeline delivers promptly instead of
+// buffering to EOF. Memory stays O(batch). A parse error aborts after
+// reporting the line; frames already flushed stay published.
+func streamPublish(c *wire.Client, stdin io.Reader, stdout io.Writer, logger *log.Logger) int {
+	fb := &frameBatcher{c: c}
+
+	type scanned struct {
+		line string
+		err  error
+	}
+	lines := make(chan scanned, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			lines <- scanned{line: sc.Text()}
+		}
+		if err := sc.Err(); err != nil {
+			lines <- scanned{err: err}
+		}
+	}()
+
+	ticker := time.NewTicker(streamFlushInterval)
+	defer ticker.Stop()
+	lineNo := 0
+	for {
+		select {
+		case in, ok := <-lines:
+			if !ok {
+				if err := fb.flush(); err != nil {
+					return fb.fail(logger, err)
+				}
+				if fb.published == 0 {
+					logger.Print("no events on stdin")
+					return 2
+				}
+				fmt.Fprintf(stdout, "published %d events, matched %d profile(s) total\n", fb.published, fb.total)
+				return 0
+			}
+			if in.err != nil {
+				return fb.fail(logger, in.err)
+			}
+			lineNo++
+			line := strings.TrimSpace(in.line)
+			if line == "" {
+				continue
+			}
+			ev, err := parseEventArg(line)
+			if err != nil {
+				logger.Printf("line %d: %v", lineNo, err)
+				if fb.published > 0 {
+					logger.Printf("%d events were already published before the bad line", fb.published)
+				}
+				return 2
+			}
+			if err := fb.add(ev); err != nil {
+				return fb.fail(logger, err)
+			}
+		case <-ticker.C:
+			if err := fb.flush(); err != nil {
+				return fb.fail(logger, err)
+			}
+		}
 	}
 }
 
@@ -250,7 +432,7 @@ func parseEventArg(text string) (map[string]float64, error) {
 }
 
 // listen prints notifications until the timeout (0 = forever).
-func listen(c *wire.Client, d time.Duration) int {
+func listen(c *wire.Client, d time.Duration, stdout io.Writer) int {
 	var timeout <-chan time.Time
 	if d > 0 {
 		t := time.NewTimer(d)
@@ -267,7 +449,7 @@ func listen(c *wire.Client, d time.Duration) int {
 			for k, v := range n.Event {
 				parts = append(parts, fmt.Sprintf("%s=%g", k, v))
 			}
-			fmt.Printf("notification #%d for %s: %s\n", n.Seq, n.Profile, strings.Join(parts, " "))
+			fmt.Fprintf(stdout, "notification #%d for %s: %s\n", n.Seq, n.Profile, strings.Join(parts, " "))
 		case <-timeout:
 			return 0
 		}

@@ -6,13 +6,15 @@
 //
 //	genasd -addr :7452 \
 //	       -schema 'temperature=numeric[-30,50]; humidity=numeric[0,100]; radiation=numeric[1,100]' \
-//	       -adaptive -measure event -attrs A2
+//	       -adaptive -measure event -attrs A2 -shards 8
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -28,24 +30,34 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
 }
 
-func run() int {
+// run starts the daemon. If ready is non-nil, the bound listener address is
+// sent on it once the daemon is accepting connections (test hook).
+func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
+	fs := flag.NewFlagSet("genasd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr       = flag.String("addr", ":7452", "TCP listen address")
-		schemaSpec = flag.String("schema", "", "schema spec, e.g. 'temp=numeric[-30,50]; state=cat{ok,alarm}'")
-		adaptiveOn = flag.Bool("adaptive", false, "enable adaptive tree restructuring")
-		goal       = flag.String("goal", "event", "adaptive goal: event | user")
-		window     = flag.Int("window", 1024, "events between drift checks")
-		threshold  = flag.Float64("threshold", 0.1, "total-variation drift threshold")
-		measure    = flag.String("measure", "natural", "value measure: natural | event | profile | event*profile")
-		attrs      = flag.String("attrs", "natural", "attribute ordering: natural | A1 | A2 | A3")
-		search     = flag.String("search", "linear", "node search: linear | binary | interpolation | hash")
+		addr       = fs.String("addr", ":7452", "TCP listen address")
+		schemaSpec = fs.String("schema", "", "schema spec, e.g. 'temp=numeric[-30,50]; state=cat{ok,alarm}'")
+		adaptiveOn = fs.Bool("adaptive", false, "enable adaptive tree restructuring")
+		goal       = fs.String("goal", "event", "adaptive goal: event | user")
+		window     = fs.Int("window", 1024, "events between drift checks")
+		threshold  = fs.Float64("threshold", 0.1, "total-variation drift threshold")
+		measure    = fs.String("measure", "natural", "value measure: natural | event | profile | event*profile")
+		attrs      = fs.String("attrs", "natural", "attribute ordering: natural | A1 | A2 | A3")
+		search     = fs.String("search", "linear", "node search: linear | binary | interpolation | hash")
+		shards     = fs.Int("shards", 1, "engine/delivery shard count (0 = GOMAXPROCS, 1 = single tree)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
-	logger := log.New(os.Stderr, "genasd: ", log.LstdFlags)
+	logger := log.New(stderr, "genasd: ", log.LstdFlags)
 	if *schemaSpec == "" {
 		logger.Print("missing -schema")
 		return 2
@@ -61,7 +73,12 @@ func run() int {
 		logger.Print(err)
 		return 2
 	}
-	opts := broker.Options{Engine: cfg, Adaptive: *adaptiveOn}
+	if *shards < 0 {
+		logger.Printf("bad -shards %d", *shards)
+		return 2
+	}
+	n := core.ResolveShards(*shards)
+	opts := broker.Options{Engine: cfg, Adaptive: *adaptiveOn, Shards: n}
 	if *adaptiveOn {
 		opts.Policy = adaptive.Policy{Window: *window, Threshold: *threshold}
 		if *goal == "user" {
@@ -80,13 +97,27 @@ func run() int {
 		logger.Printf("listen: %v", err)
 		return 1
 	}
-	logger.Printf("listening on %s with schema %s", ln.Addr(), sch)
+	logger.Printf("listening on %s with schema %s (%d shards)", ln.Addr(), sch, n)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	srv := wire.NewServer(brk, logger)
 	defer srv.Close()
+	// On shutdown, disconnect clients too: canceling the context only stops
+	// the accept loop, and Serve waits for connected clients otherwise.
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+
+	// Readiness is announced only after the signal handler is installed: a
+	// caller may send SIGTERM the moment it learns the address, and before
+	// NotifyContext runs that signal would hit the default disposition and
+	// kill the process.
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 	if err := srv.Serve(ctx, ln); err != nil {
 		logger.Printf("serve: %v", err)
 		return 1

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regenerate the golden tables with:
+//
+//	go test ./cmd/reproduce -run TestGoldenFigures -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenFigs are the paper figures whose output is fully deterministic under
+// a fixed seed (the TV scenario sweep prints wall-clock build times and is
+// excluded).
+var goldenFigs = []string{"3", "4a", "4b", "5a", "5b", "5c", "6a", "6b"}
+
+// TestGoldenFigures pins the exact reproduction output of Figures 3–6: any
+// change to the distribution catalog, the selectivity measures, the tree or
+// the experiment harness that silently shifts the paper's numbers fails
+// here.
+func TestGoldenFigures(t *testing.T) {
+	for _, fig := range goldenFigs {
+		t.Run("fig"+fig, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run([]string{"-fig", fig, "-seed", "1"}, &out, &errOut); code != 0 {
+				t.Fatalf("run exited %d: %s", code, errOut.String())
+			}
+			golden := filepath.Join("testdata", "fig"+fig+".golden")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("figure %s drifted from the recorded reproduction.\n--- got ---\n%s\n--- want ---\n%s\ndiff starts at byte %d",
+					fig, clip(out.String()), clip(string(want)), firstDiff(out.Bytes(), want))
+			}
+		})
+	}
+}
+
+// TestGoldenCSV pins the CSV emitter for one cheap figure.
+func TestGoldenCSV(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fig", "3", "-format", "csv"}, &out, &errOut); code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut.String())
+	}
+	golden := filepath.Join("testdata", "fig3_csv.golden")
+	if *update {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("CSV output drifted.\n--- got ---\n%s", clip(out.String()))
+	}
+}
+
+// TestRunErrors covers the CLI error paths.
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-fig", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown figure: exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown figure") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+	if code := run([]string{"-bogusflag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}
+
+func clip(s string) string {
+	const max = 2000
+	if len(s) > max {
+		return s[:max] + "…"
+	}
+	return s
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h: exit %d (%s)", code, errOut.String())
+	}
+}

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -19,17 +21,24 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reproduce", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 3|4a|4b|5a|5b|5c|6a|6b|dontcare|operators|search|tv|all")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		format = flag.String("format", "text", "output format: text | csv")
+		fig    = fs.String("fig", "all", "figure to regenerate: 3|4a|4b|5a|5b|5c|6a|6b|dontcare|operators|search|tv|all")
+		seed   = fs.Int64("seed", 1, "workload seed")
+		format = fs.String("format", "text", "output format: text | csv")
 	)
-	flag.Parse()
-	logger := log.New(os.Stderr, "reproduce: ", 0)
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(stderr, "reproduce: ", 0)
 
 	type job struct {
 		name string
@@ -37,10 +46,10 @@ func run() int {
 	}
 	emit := func(t experiments.Table) {
 		if *format == "csv" {
-			fmt.Print(t.CSV())
+			fmt.Fprint(stdout, t.CSV())
 			return
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	table := func(f func(int64) (experiments.Table, error)) func() error {
 		return func() error {
@@ -71,7 +80,7 @@ func run() int {
 		{"dontcare", table(experiments.DontCareSweep)},
 		{"operators", table(experiments.OperatorSweep)},
 		{"search", table(experiments.SearchSweep)},
-		{"tv", func() error { return runScenarios(*seed) }},
+		{"tv", func() error { return runScenarios(*seed, stdout) }},
 	}
 
 	ran := false
@@ -95,30 +104,30 @@ func run() int {
 // runScenarios sweeps the four TV test scenarios on a representative
 // configuration (peaked events against uniform profiles) across the
 // orderings.
-func runScenarios(seed int64) error {
-	fmt.Println("Test scenarios TV1–TV4 (events: 95% low peak, profiles: equal)")
+func runScenarios(seed int64, stdout io.Writer) error {
+	fmt.Fprintln(stdout, "Test scenarios TV1–TV4 (events: 95% low peak, profiles: equal)")
 	for _, vo := range []string{"natural", "event", "binary"} {
-		fmt.Printf("— value order: %s\n", vo)
+		fmt.Fprintf(stdout, "— value order: %s\n", vo)
 		r1, err := experiments.TV1(3, 10000, "95% low", "equal", vo, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println("  " + r1.String())
+		fmt.Fprintln(stdout, "  "+r1.String())
 		r2, err := experiments.TV2(3, 10000, "95% low", "equal", vo, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println("  " + r2.String())
+		fmt.Fprintln(stdout, "  "+r2.String())
 		r3, err := experiments.TV3(2000, "95% low", "equal", vo, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println("  " + r3.String())
+		fmt.Fprintln(stdout, "  "+r3.String())
 		r4, err := experiments.TV4(2000, "95% low", "equal", vo, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Println("  " + r4.String())
+		fmt.Fprintln(stdout, "  "+r4.String())
 	}
 	return nil
 }

@@ -215,6 +215,21 @@ func WithAttrOrdering(name string) Option {
 	}
 }
 
+// WithShards partitions the filter engine and the broker's delivery state
+// into n shards: profiles hash across n independent profile trees, each with
+// its own lock and selectivity state, and events are matched against all
+// shards with a merge step. The match set is identical to the single-tree
+// engine; sharding changes the concurrency layout — subscription churn and
+// adaptive restructuring lock one shard at a time instead of stopping the
+// world, and parallel publishers stop serializing on broker-wide state.
+// n ≤ 0 selects GOMAXPROCS; n == 1 keeps the classic single-tree engine.
+func WithShards(n int) Option {
+	return func(o *options) error {
+		o.broker.Shards = core.ResolveShards(n)
+		return nil
+	}
+}
+
 // WithSubscriptionBuffer sets the default notification buffer per
 // subscription.
 func WithSubscriptionBuffer(n int) Option {
@@ -342,23 +357,16 @@ func (s *Service) Unsubscribe(id string) error {
 	return s.brk.Unsubscribe(predicate.ID(id))
 }
 
+// Event builds a validated event from attribute name → value; every schema
+// attribute must be present.
+func (s *Service) Event(values map[string]float64) (Event, error) {
+	return event.FromMap(s.sch, values)
+}
+
 // Publish posts an event given as attribute name → value and returns the
 // number of matched profiles.
 func (s *Service) Publish(values map[string]float64) (int, error) {
-	vals := make([]float64, s.sch.N())
-	seen := 0
-	for name, v := range values {
-		i, err := s.sch.Index(name)
-		if err != nil {
-			return 0, err
-		}
-		vals[i] = v
-		seen++
-	}
-	if seen != s.sch.N() {
-		return 0, fmt.Errorf("genas: event specifies %d of %d attributes", seen, s.sch.N())
-	}
-	ev, err := event.New(s.sch, vals...)
+	ev, err := s.Event(values)
 	if err != nil {
 		return 0, err
 	}
@@ -367,6 +375,16 @@ func (s *Service) Publish(values map[string]float64) (int, error) {
 
 // PublishEvent posts a prebuilt event.
 func (s *Service) PublishEvent(ev Event) (int, error) { return s.brk.Publish(ev) }
+
+// PublishBatch posts a slice of prebuilt events as one batch: the events are
+// filtered concurrently against a single corpus snapshot, sequence numbers
+// are assigned contiguously in slice order, and notifications are delivered
+// in event order. It returns the per-event match counts. Batching amortizes
+// lock acquisition and tree-root dispatch across the slice, so it is the
+// preferred ingestion path for high-rate publishers.
+func (s *Service) PublishBatch(evs []Event) ([]int, error) {
+	return s.brk.PublishBatch(evs)
+}
 
 // ParseEvent reads the paper's event notation ("event(temperature=30; …)").
 func (s *Service) ParseEvent(text string) (Event, error) { return event.Parse(s.sch, text) }

@@ -324,3 +324,113 @@ func TestServiceSubscribeGroup(t *testing.T) {
 		t.Error("bad expression must fail")
 	}
 }
+
+// TestServiceSharded: the WithShards facade — sharded matching agrees with a
+// single-shard service, the batch path reports per-event counts, and the
+// analytic cost model still answers.
+func TestServiceSharded(t *testing.T) {
+	sch := monitoringSchema(t)
+	single, err := NewService(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	sharded, err := NewService(sch, WithShards(4), WithAdaptivePolicy(64, 0.01, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	auto, err := NewService(sch, WithShards(0)) // GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto.Close()
+
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 50; i++ {
+		expr := fmt.Sprintf("profile(temperature >= %d; humidity <= %d)", rng.Intn(60)-30, rng.Intn(100))
+		id := fmt.Sprintf("p%d", i)
+		if _, err := single.Subscribe(id, expr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sharded.Subscribe(id, expr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Per-event parity.
+	for i := 0; i < 200; i++ {
+		vals := map[string]float64{
+			"temperature": float64(rng.Intn(80) - 30),
+			"humidity":    float64(rng.Intn(100)),
+			"radiation":   float64(rng.Intn(99) + 1),
+		}
+		want, err := single.Publish(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sharded.Publish(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("event %d: sharded matched %d, single %d", i, got, want)
+		}
+	}
+
+	// Batch parity: PublishBatch counts equal per-event publishing.
+	evs := make([]Event, 64)
+	var want []int
+	for i := range evs {
+		vals := map[string]float64{
+			"temperature": float64(rng.Intn(80) - 30),
+			"humidity":    float64(rng.Intn(100)),
+			"radiation":   float64(rng.Intn(99) + 1),
+		}
+		ev, err := sharded.Event(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[i] = ev
+		n, err := single.Publish(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, n)
+	}
+	counts, err := sharded.PublishBatch(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i] != want[i] {
+			t.Fatalf("batch event %d: %d vs %d", i, counts[i], want[i])
+		}
+	}
+
+	// The adaptive loop restructured per shard and the cost model answers.
+	if sharded.Restructures() == 0 {
+		t.Error("sharded adaptive service never restructured")
+	}
+	ops, err := sharded.ExpectedOpsPerEvent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops <= 0 {
+		t.Errorf("expected ops = %v", ops)
+	}
+	if st := sharded.Stats(); st.Published != 200+64 || st.FilterEvents != 200+64 {
+		t.Errorf("sharded stats = %+v", st)
+	}
+
+	// Event validation errors flow through the facade.
+	if _, err := sharded.Event(map[string]float64{"temperature": 1}); err == nil {
+		t.Error("partial event must fail")
+	}
+	if _, err := sharded.Event(map[string]float64{"bogus": 1}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := sharded.PublishBatch(nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"genas/internal/core"
 	"genas/internal/dist"
+	"genas/internal/schema"
 )
 
 // Goal selects the optimization target.
@@ -86,15 +87,36 @@ func (p Policy) withDefaults() Policy {
 	return p
 }
 
+// Engine is the filter surface the adaptor drives: both the single-tree
+// core.Engine and the sharded core.Sharded satisfy it. On a sharded engine
+// the drift snapshot is taken once over the aggregated event history and the
+// restructure fans out per shard, each shard locking independently — the
+// adaptation never stops the world.
+type Engine interface {
+	Schema() *schema.Schema
+	Config() core.Config
+	SetConfig(cfg core.Config)
+	Rebuild() error
+	Reorder() error
+}
+
 // Adaptor couples a filter engine with event-history histograms.
 type Adaptor struct {
 	mu      sync.Mutex
-	engine  *core.Engine
+	engine  Engine
 	policy  Policy
 	hists   []*dist.Histogram
 	applied []dist.Shape // shapes the engine currently runs with
 	seen    uint64
 	sinceCk int
+
+	// restructMu serializes the engine-mutation phase of a restructure
+	// (SetConfig + Rebuild/Reorder). It is separate from mu so that the
+	// per-event Observe bookkeeping never blocks behind a running rebuild;
+	// without it, two overlapping drift windows could interleave their
+	// SetConfig fan-outs and leave a sharded engine's shards rebuilt under
+	// different distribution snapshots.
+	restructMu sync.Mutex
 
 	restructures int
 	checks       int
@@ -102,7 +124,7 @@ type Adaptor struct {
 
 // New creates an adaptor for the engine. The engine's configuration is
 // switched to the goal's measures on the first restructure.
-func New(engine *core.Engine, policy Policy) (*Adaptor, error) {
+func New(engine Engine, policy Policy) (*Adaptor, error) {
 	p := policy.withDefaults()
 	s := engine.Schema()
 	hists := make([]*dist.Histogram, s.N())
@@ -124,9 +146,30 @@ func (a *Adaptor) Observe(vals []float64) bool {
 	for i, h := range a.hists {
 		h.Observe(vals[i])
 	}
+	return a.bump(1)
+}
+
+// ObserveBatch feeds a whole batch into the history and runs at most one
+// drift check, amortizing the adaptor bookkeeping over the batch (the
+// batched publish path's entry point).
+func (a *Adaptor) ObserveBatch(events [][]float64) bool {
+	for _, vals := range events {
+		for i, h := range a.hists {
+			h.Observe(vals[i])
+		}
+	}
+	return a.bump(len(events))
+}
+
+// bump advances the event counters by n and runs the drift check when a
+// window boundary was crossed.
+func (a *Adaptor) bump(n int) bool {
+	if n <= 0 {
+		return false
+	}
 	a.mu.Lock()
-	a.seen++
-	a.sinceCk++
+	a.seen += uint64(n)
+	a.sinceCk += n
 	due := a.sinceCk >= a.policy.Window && a.seen >= a.policy.MinHistory
 	if due {
 		a.sinceCk = 0
@@ -149,6 +192,8 @@ func (a *Adaptor) ForceAdapt() error {
 // maybeAdapt compares live histograms against the applied distributions and
 // restructures when drifted (or when forced).
 func (a *Adaptor) maybeAdapt(force bool) bool {
+	a.restructMu.Lock()
+	defer a.restructMu.Unlock()
 	a.mu.Lock()
 	a.checks++
 	drift := 0.0
@@ -168,8 +213,6 @@ func (a *Adaptor) maybeAdapt(force bool) bool {
 	for i := range snaps {
 		ds[i] = dist.New(snaps[i], s.At(i).Domain)
 	}
-	a.applied = snaps
-	a.restructures++
 	goal := a.policy.Goal
 	rebuildAttrs := a.policy.ReorderAttributes
 	a.mu.Unlock()
@@ -186,6 +229,14 @@ func (a *Adaptor) maybeAdapt(force bool) bool {
 	}
 	cfg.EventDists = ds
 	a.engine.SetConfig(cfg)
+	// SetConfig is the commitment point: the engine is now dirty and adopts
+	// the new distributions on its next rebuild — eagerly below, or lazily
+	// on the next match if the eager pass fails — so the drift baseline
+	// must track this snapshot either way.
+	a.mu.Lock()
+	a.applied = snaps
+	a.restructures++
+	a.mu.Unlock()
 	var err error
 	if rebuildAttrs {
 		err = a.engine.Rebuild()

@@ -7,6 +7,11 @@
 // with the adaptive component of internal/adaptive: every published event
 // feeds the event history, and the filter tree restructures itself when the
 // observed distribution drifts.
+//
+// Delivery state (subscription maps and per-profile counters) is partitioned
+// with the same hash the sharded engine uses, so concurrent publishers
+// contend per shard instead of on one broker-wide lock, and subscription
+// churn on one shard never stalls delivery on the others.
 package broker
 
 import (
@@ -61,13 +66,18 @@ func (sc *sharedChan) release() {
 
 // Subscription is one subscriber registration. Notifications arrive on C();
 // when the subscriber lags behind the buffer the broker drops and counts
-// instead of blocking the publish path.
+// instead of blocking the publish path. Delivery tallies live on the
+// subscription itself (two uncontended atomics), realizing the paper's
+// per-profile statistic objects without putting a mutex or a map on the
+// publish path; the broker folds them into its counter store when the
+// subscription ends.
 type Subscription struct {
-	id      predicate.ID
-	profile *predicate.Profile
-	shared  *sharedChan
-	dropped atomic.Uint64
-	closed  atomic.Bool
+	id        predicate.ID
+	profile   *predicate.Profile
+	shared    *sharedChan
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	closed    atomic.Bool
 }
 
 // ID returns the subscription id.
@@ -88,6 +98,10 @@ func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 type Options struct {
 	// Engine configuration (measures, search strategy, distributions).
 	Engine core.Config
+	// Shards selects the engine partition width: 0 or 1 runs the classic
+	// single-tree engine, n > 1 runs an n-way sharded engine with delivery
+	// state partitioned the same way.
+	Shards int
 	// Adaptive enables the adaptive filter component.
 	Adaptive bool
 	// Policy tunes adaptation (ignored unless Adaptive).
@@ -96,24 +110,48 @@ type Options struct {
 	DefaultBuffer int
 }
 
+// deliveryShard holds the subscriptions of one partition of the id space,
+// plus shard-level delivery aggregates and the per-profile counters retired
+// from subscriptions that have since ended.
+type deliveryShard struct {
+	mu   sync.RWMutex
+	subs map[predicate.ID]*Subscription
+	// delivered/dropped aggregate the shard's whole history (live and
+	// retired subscriptions), so Stats stays O(shards) instead of walking
+	// every subscription. Contention is per shard, which is the point.
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	// retired accumulates the per-profile tallies of unsubscribed profiles
+	// (cold path only: the publish path never touches it).
+	retired *stats.Counters
+}
+
+// retire folds a dead subscription's per-profile tallies into the shard's
+// counter store (the shard aggregates already include them).
+func (d *deliveryShard) retire(sub *Subscription) {
+	if n := sub.delivered.Load(); n > 0 {
+		d.retired.Add("delivered:"+string(sub.id), n)
+	}
+	if n := sub.dropped.Load(); n > 0 {
+		d.retired.Add("dropped:"+string(sub.id), n)
+	}
+}
+
 // Broker is the local ENS instance. It is safe for concurrent use.
 type Broker struct {
 	schema *schema.Schema
-	engine *core.Engine
+	filter core.Filter
 	adapt  *adaptive.Adaptor
 
-	mu     sync.RWMutex
-	subs   map[predicate.ID]*Subscription
-	closed bool
+	// regMu serializes registration state changes (subscribe, unsubscribe,
+	// close); the publish path only takes per-shard read locks.
+	regMu  sync.Mutex
+	closed atomic.Bool
+
+	shards []*deliveryShard
 
 	seq       atomic.Uint64
 	published atomic.Uint64
-	delivered atomic.Uint64
-	dropped   atomic.Uint64
-
-	// counters realize the paper's statistic objects (§4.2): per-profile
-	// delivery and drop tallies keyed "delivered:<id>" / "dropped:<id>".
-	counters *stats.Counters
 
 	defaultBuffer int
 }
@@ -126,15 +164,30 @@ func New(s *schema.Schema, opts Options) (*Broker, error) {
 	if opts.DefaultBuffer < 0 {
 		return nil, ErrBadBufferSize
 	}
+	n := opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	var filter core.Filter
+	if n > 1 {
+		filter = core.NewSharded(s, opts.Engine, n)
+	} else {
+		filter = core.NewEngine(s, opts.Engine)
+	}
 	b := &Broker{
 		schema:        s,
-		engine:        core.NewEngine(s, opts.Engine),
-		subs:          make(map[predicate.ID]*Subscription),
-		counters:      stats.NewCounters(),
+		filter:        filter,
+		shards:        make([]*deliveryShard, n),
 		defaultBuffer: opts.DefaultBuffer,
 	}
+	for i := range b.shards {
+		b.shards[i] = &deliveryShard{
+			subs:    make(map[predicate.ID]*Subscription),
+			retired: stats.NewCounters(),
+		}
+	}
 	if opts.Adaptive {
-		a, err := adaptive.New(b.engine, opts.Policy)
+		a, err := adaptive.New(filter, opts.Policy)
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +199,21 @@ func New(s *schema.Schema, opts Options) (*Broker, error) {
 // Schema returns the broker's schema.
 func (b *Broker) Schema() *schema.Schema { return b.schema }
 
-// Engine exposes the underlying filter engine (experiments and diagnostics).
-func (b *Broker) Engine() *core.Engine { return b.engine }
+// Engine exposes the underlying filter (experiments and diagnostics): a
+// *core.Engine for single-shard brokers, a *core.Sharded otherwise.
+func (b *Broker) Engine() core.Filter { return b.filter }
+
+// Shards returns the delivery partition width.
+func (b *Broker) Shards() int { return len(b.shards) }
 
 // Adaptor returns the adaptive component (nil when disabled).
 func (b *Broker) Adaptor() *adaptive.Adaptor { return b.adapt }
+
+// shardFor returns the delivery shard owning id (aligned with the engine's
+// profile partition).
+func (b *Broker) shardFor(id predicate.ID) *deliveryShard {
+	return b.shards[core.ShardOf(id, len(b.shards))]
+}
 
 // Subscribe registers a profile and returns its subscription. The profile ID
 // must be unique within the broker.
@@ -166,21 +229,33 @@ func (b *Broker) SubscribeBuffered(p *predicate.Profile, buffer int) (*Subscript
 	if buffer <= 0 {
 		return nil, ErrBadBufferSize
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	b.regMu.Lock()
+	defer b.regMu.Unlock()
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
-	if _, dup := b.subs[p.ID]; dup {
+	shard := b.shardFor(p.ID)
+	shard.mu.RLock()
+	_, dup := shard.subs[p.ID]
+	shard.mu.RUnlock()
+	if dup {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateSub, p.ID)
-	}
-	if err := b.engine.AddProfile(p); err != nil {
-		return nil, err
 	}
 	sc := &sharedChan{ch: make(chan Notification, buffer)}
 	sc.refs.Store(1)
 	sub := &Subscription{id: p.ID, profile: p, shared: sc}
-	b.subs[p.ID] = sub
+	// Insert into the delivery map before the profile becomes matchable: the
+	// reverse order would let a concurrent Publish match the profile, miss
+	// it in the map and silently lose the notification.
+	shard.mu.Lock()
+	shard.subs[p.ID] = sub
+	shard.mu.Unlock()
+	if err := b.filter.AddProfile(p); err != nil {
+		shard.mu.Lock()
+		delete(shard.subs, p.ID)
+		shard.mu.Unlock()
+		return nil, err
+	}
 	return sub, nil
 }
 
@@ -220,34 +295,56 @@ func (b *Broker) SubscribeGroup(buffer int, profiles ...*predicate.Profile) (*Gr
 	if len(profiles) == 0 {
 		return nil, ErrNilProfile
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	b.regMu.Lock()
+	defer b.regMu.Unlock()
+	if b.closed.Load() {
 		return nil, ErrClosed
 	}
+	seen := make(map[predicate.ID]bool, len(profiles))
 	for _, p := range profiles {
 		if p == nil {
 			return nil, ErrNilProfile
 		}
-		if _, dup := b.subs[p.ID]; dup {
+		shard := b.shardFor(p.ID)
+		shard.mu.RLock()
+		_, dup := shard.subs[p.ID]
+		shard.mu.RUnlock()
+		if dup || seen[p.ID] {
 			return nil, fmt.Errorf("%w: %s", ErrDuplicateSub, p.ID)
 		}
+		seen[p.ID] = true
 	}
 	sc := &sharedChan{ch: make(chan Notification, buffer)}
 	g := &Group{b: b, shared: sc}
 	added := make([]predicate.ID, 0, len(profiles))
-	for _, p := range profiles {
-		if err := b.engine.AddProfile(p); err != nil {
-			for _, id := range added {
-				sub := b.subs[id]
-				delete(b.subs, id)
-				_ = b.engine.RemoveProfile(id)
+	rollback := func() {
+		for _, id := range added {
+			shard := b.shardFor(id)
+			shard.mu.Lock()
+			sub := shard.subs[id]
+			delete(shard.subs, id)
+			shard.mu.Unlock()
+			_ = b.filter.RemoveProfile(id)
+			if sub != nil {
 				sub.closed.Store(true)
 			}
+		}
+	}
+	for _, p := range profiles {
+		sub := &Subscription{id: p.ID, profile: p, shared: sc}
+		shard := b.shardFor(p.ID)
+		// Delivery map first, then the filter — see SubscribeBuffered.
+		shard.mu.Lock()
+		shard.subs[p.ID] = sub
+		shard.mu.Unlock()
+		if err := b.filter.AddProfile(p); err != nil {
+			shard.mu.Lock()
+			delete(shard.subs, p.ID)
+			shard.mu.Unlock()
+			rollback()
 			return nil, err
 		}
 		sc.refs.Add(1)
-		b.subs[p.ID] = &Subscription{id: p.ID, profile: p, shared: sc}
 		added = append(added, p.ID)
 	}
 	g.ids = added
@@ -256,19 +353,24 @@ func (b *Broker) SubscribeGroup(buffer int, profiles ...*predicate.Profile) (*Gr
 
 // Unsubscribe removes a subscription and closes its channel.
 func (b *Broker) Unsubscribe(id predicate.ID) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	sub, ok := b.subs[id]
+	b.regMu.Lock()
+	defer b.regMu.Unlock()
+	shard := b.shardFor(id)
+	shard.mu.Lock()
+	sub, ok := shard.subs[id]
+	if ok {
+		delete(shard.subs, id)
+		sub.closed.Store(true)
+		// Close under the shard write lock: in-flight deliveries hold the
+		// read lock across their channel send.
+		sub.shared.release()
+		shard.retire(sub)
+	}
+	shard.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSub, id)
 	}
-	delete(b.subs, id)
-	if err := b.engine.RemoveProfile(id); err != nil {
-		return err
-	}
-	sub.closed.Store(true)
-	sub.shared.release()
-	return nil
+	return b.filter.RemoveProfile(id)
 }
 
 // Publish filters the event and delivers notifications to every matched
@@ -280,12 +382,9 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 		return 0, fmt.Errorf("%w: got %d values for %d attributes",
 			event.ErrArity, len(ev.Vals), b.schema.N())
 	}
-	b.mu.RLock()
-	if b.closed {
-		b.mu.RUnlock()
+	if b.closed.Load() {
 		return 0, ErrClosed
 	}
-	b.mu.RUnlock()
 
 	ev.Seq = b.seq.Add(1)
 	if ev.Time.IsZero() {
@@ -297,32 +396,102 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 		b.adapt.Observe(ev.Vals)
 	}
 
-	ids, _, err := b.engine.Match(ev.Vals)
+	ids, _, err := b.filter.Match(ev.Vals)
 	if err != nil {
 		return 0, err
 	}
+	b.deliver(ev, ids, time.Now())
+	return len(ids), nil
+}
+
+// PublishBatch filters a batch of events against one corpus snapshot and
+// delivers the notifications in event order. It returns the per-event match
+// counts, positionally aligned with the input; the input slice itself is not
+// modified, so buffers may be reused across calls. The batch amortizes
+// sequence assignment, adaptor bookkeeping and per-shard lock acquisition
+// across the whole slice; events are matched concurrently by the engine's
+// batch path.
+func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	for i := range evs {
+		if len(evs[i].Vals) != b.schema.N() {
+			return nil, fmt.Errorf("%w: event %d: got %d values for %d attributes",
+				event.ErrArity, i, len(evs[i].Vals), b.schema.N())
+		}
+	}
+	if b.closed.Load() {
+		return nil, ErrClosed
+	}
+
+	// Stamp sequence numbers and times on a copy: like Publish, the batch
+	// path must not mutate caller-visible events (a reused buffer would
+	// otherwise keep its first call's timestamps forever).
+	base := b.seq.Add(uint64(len(evs))) - uint64(len(evs))
 	now := time.Now()
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	delivered := 0
+	batch := make([]event.Event, len(evs))
+	vals := make([][]float64, len(evs))
+	for i := range evs {
+		batch[i] = evs[i]
+		batch[i].Seq = base + uint64(i) + 1
+		if batch[i].Time.IsZero() {
+			batch[i].Time = now
+		}
+		vals[i] = batch[i].Vals
+	}
+	b.published.Add(uint64(len(evs)))
+
+	if b.adapt != nil {
+		b.adapt.ObserveBatch(vals)
+	}
+
+	results, err := b.filter.MatchBatch(vals, 0)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, len(evs))
+	delivered := time.Now()
+	for i, r := range results {
+		counts[i] = len(r.IDs)
+		b.deliver(batch[i], r.IDs, delivered)
+	}
+	return counts, nil
+}
+
+// deliver pushes one event's notifications to the matched subscribers,
+// locking only the delivery shards the matched ids live on. The send happens
+// under the shard read lock: channel close runs under the shard write lock
+// (Unsubscribe, Close), so a send can never hit a closing channel. Matched
+// ids arrive grouped by shard (the sharded engine merges in shard order), so
+// the lock is held across each run of same-shard ids rather than per id.
+func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time) {
+	var shard *deliveryShard
 	for _, id := range ids {
-		sub, ok := b.subs[id]
+		if next := b.shardFor(id); next != shard {
+			if shard != nil {
+				shard.mu.RUnlock()
+			}
+			shard = next
+			shard.mu.RLock()
+		}
+		sub, ok := shard.subs[id]
 		if !ok || sub.closed.Load() {
 			continue
 		}
 		n := Notification{Event: ev, Profile: id, Delivered: now}
 		select {
 		case sub.shared.ch <- n:
-			delivered++
-			b.delivered.Add(1)
-			b.counters.Inc("delivered:" + string(id))
+			sub.delivered.Add(1)
+			shard.delivered.Add(1)
 		default:
 			sub.dropped.Add(1)
-			b.dropped.Add(1)
-			b.counters.Inc("dropped:" + string(id))
+			shard.dropped.Add(1)
 		}
 	}
-	return len(ids), nil
+	if shard != nil {
+		shard.mu.RUnlock()
+	}
 }
 
 // Quenched reports whether events whose attribute attr falls inside iv are
@@ -334,18 +503,28 @@ func (b *Broker) Quenched(attr int, iv schema.Interval) bool {
 		return false
 	}
 	dom := b.schema.At(attr).Domain
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	for _, sub := range b.subs {
-		p := sub.profile
-		if !p.Constrains(attr) {
-			return false // a don't-care profile accepts any value here
-		}
-		for _, piv := range p.Pred(attr).Intervals(dom) {
-			if piv.Overlaps(iv) {
-				return false
+	// Hold regMu so the multi-shard scan sees one consistent registration
+	// snapshot: without it, a profile migrating between scanned and
+	// unscanned shards (unsubscribe+resubscribe) could hide continuous
+	// coverage and yield a false "quenched". Quench queries are cold-path.
+	b.regMu.Lock()
+	defer b.regMu.Unlock()
+	for _, shard := range b.shards {
+		shard.mu.RLock()
+		for _, sub := range shard.subs {
+			p := sub.profile
+			if !p.Constrains(attr) {
+				shard.mu.RUnlock()
+				return false // a don't-care profile accepts any value here
+			}
+			for _, piv := range p.Pred(attr).Intervals(dom) {
+				if piv.Overlaps(iv) {
+					shard.mu.RUnlock()
+					return false
+				}
 			}
 		}
+		shard.mu.RUnlock()
 	}
 	return true
 }
@@ -364,37 +543,71 @@ type Stats struct {
 
 // Stats returns the current counters.
 func (b *Broker) Stats() Stats {
-	b.mu.RLock()
-	n := len(b.subs)
-	b.mu.RUnlock()
-	acc := b.engine.Account()
+	var n int
+	var delivered, dropped uint64
+	for _, shard := range b.shards {
+		shard.mu.RLock()
+		n += len(shard.subs)
+		shard.mu.RUnlock()
+		delivered += shard.delivered.Load()
+		dropped += shard.dropped.Load()
+	}
+	acc := b.filter.Account()
 	return Stats{
 		Subscriptions: n,
 		Published:     b.published.Load(),
-		Delivered:     b.delivered.Load(),
-		Dropped:       b.dropped.Load(),
+		Delivered:     delivered,
+		Dropped:       dropped,
 		FilterEvents:  acc.Events,
 		FilterOps:     acc.Ops,
 		MeanOps:       acc.MeanOps,
 	}
 }
 
-// Counters returns a snapshot of the per-profile delivery/drop counters
-// (the paper's statistic objects, §4.2).
-func (b *Broker) Counters() []stats.Entry { return b.counters.Snapshot() }
+// Counters returns a merged snapshot of the per-profile delivery/drop
+// counters (the paper's statistic objects, §4.2): live subscription tallies
+// plus the counts retired from ended subscriptions. A key appears once it
+// has counted at least one notification.
+func (b *Broker) Counters() []stats.Entry {
+	merged := stats.NewCounters()
+	for _, shard := range b.shards {
+		// Retired and live tallies are read under one read lock so that a
+		// concurrent Unsubscribe (which moves counts from live to retired
+		// under the write lock) can never make a profile vanish from the
+		// snapshot.
+		shard.mu.RLock()
+		for _, e := range shard.retired.Snapshot() {
+			merged.Add(e.Key, e.Count)
+		}
+		for id, sub := range shard.subs {
+			if n := sub.delivered.Load(); n > 0 {
+				merged.Add("delivered:"+string(id), n)
+			}
+			if n := sub.dropped.Load(); n > 0 {
+				merged.Add("dropped:"+string(id), n)
+			}
+		}
+		shard.mu.RUnlock()
+	}
+	return merged.Snapshot()
+}
 
 // Close shuts the broker down: all subscription channels are closed and
 // further operations fail with ErrClosed.
 func (b *Broker) Close() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
+	b.regMu.Lock()
+	defer b.regMu.Unlock()
+	if !b.closed.CompareAndSwap(false, true) {
 		return
 	}
-	b.closed = true
-	for id, sub := range b.subs {
-		sub.closed.Store(true)
-		sub.shared.release()
-		delete(b.subs, id)
+	for _, shard := range b.shards {
+		shard.mu.Lock()
+		for id, sub := range shard.subs {
+			sub.closed.Store(true)
+			sub.shared.release()
+			shard.retire(sub)
+			delete(shard.subs, id)
+		}
+		shard.mu.Unlock()
 	}
 }

@@ -1,79 +1,101 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
+
+	"genas/internal/predicate"
 )
 
 // BatchResult carries one event's match outcome inside a batch.
 type BatchResult struct {
-	// Matched holds dense profile indices into the snapshot used for the
-	// batch (ascending).
-	Matched []int
+	// IDs holds the matched profile ids.
+	IDs []predicate.ID
 	// Ops is the comparison count spent on the event.
 	Ops int
 }
+
+// batchChunk is the number of events one worker claims at a time; large
+// enough to amortize the claim, small enough to balance skewed match costs.
+const batchChunk = 64
 
 // MatchBatch filters many events concurrently against one automaton
 // snapshot. All events in the batch see the same profile corpus even if
 // subscriptions change mid-flight, and results are positionally aligned
 // with the input. workers ≤ 0 selects GOMAXPROCS.
 //
-// The profile tree is immutable after construction and value reordering, so
-// concurrent matching needs no locking — the snapshot pattern the single-
-// event path uses extends to whole batches at amortized synchronization
-// cost.
+// The read lock is held for the whole batch (acquireShared — only
+// pathological churn falls back to a write-held traversal), so
+// restructuring (Reorder, Rebuild) waits for in-flight batches; matching
+// inside the batch needs no further synchronization because the tree is
+// immutable while the lock is held.
 func (e *Engine) MatchBatch(events [][]float64, workers int) ([]BatchResult, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
-	t, err := e.snapshot()
+	t, release, err := e.acquireShared()
+	if errors.Is(err, ErrNoProfiles) {
+		return make([]BatchResult, len(events)), nil
+	}
 	if err != nil {
-		if err == ErrNoProfiles {
-			return make([]BatchResult, len(events)), nil
-		}
 		return nil, err
 	}
+	defer release()
+
+	results := make([]BatchResult, len(events))
+	profiles := t.Profiles()
+	runBatch(len(events), workers, func(i int) {
+		matched, ops := t.Match(events[i])
+		ids := make([]predicate.ID, len(matched))
+		for j, pi := range matched {
+			ids[j] = profiles[pi].ID
+		}
+		results[i] = BatchResult{IDs: ids, Ops: ops}
+	})
+
+	for _, r := range results {
+		e.account.Record(r.Ops, len(r.IDs))
+	}
+	return results, nil
+}
+
+// runBatch fans fn(i) for i in [0,n) across workers with chunked work
+// stealing. workers ≤ 0 selects GOMAXPROCS; a single worker runs inline.
+func runBatch(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(events) {
-		workers = len(events)
+	if workers > (n+batchChunk-1)/batchChunk {
+		workers = (n + batchChunk - 1) / batchChunk
 	}
-
-	results := make([]BatchResult, len(events))
-	var next int
-	var mu sync.Mutex
-	const chunk = 64
-
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				lo := next
-				next += chunk
-				mu.Unlock()
-				if lo >= len(events) {
+				lo := int(next.Add(batchChunk)) - batchChunk
+				if lo >= n {
 					return
 				}
-				hi := lo + chunk
-				if hi > len(events) {
-					hi = len(events)
+				hi := lo + batchChunk
+				if hi > n {
+					hi = n
 				}
 				for i := lo; i < hi; i++ {
-					matched, ops := t.Match(events[i])
-					results[i] = BatchResult{Matched: matched, Ops: ops}
+					fn(i)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-
-	for _, r := range results {
-		e.account.Record(r.Ops, len(r.Matched))
-	}
-	return results, nil
 }

@@ -363,28 +363,45 @@ func (e *Engine) SetConfig(cfg Config) {
 // resolved against the same automaton snapshot that produced the match, so
 // concurrent profile churn cannot skew the translation.
 func (e *Engine) Match(vals []float64) ([]predicate.ID, int, error) {
-	t, err := e.snapshot()
-	if errors.Is(err, ErrNoProfiles) {
-		return nil, 0, nil // an empty filter matches nothing
-	}
-	if err != nil {
+	ids, ops, empty, err := e.matchIDs(vals, nil)
+	if err != nil || empty {
 		return nil, 0, err
 	}
-	matched, ops := t.Match(vals)
-	e.account.Record(ops, len(matched))
-	ids := make([]predicate.ID, len(matched))
-	profiles := t.Profiles()
-	for i, pi := range matched {
-		ids[i] = profiles[pi].ID
-	}
+	e.account.Record(ops, len(ids))
 	return ids, ops, nil
+}
+
+// matchIDs is Match without operation accounting, appending matched ids to
+// dst: the sharded engine merges per-shard results into one buffer and
+// accounts once per event at the top level. empty reports that the engine
+// holds no profiles (which matches nothing and does not count as a filtered
+// event).
+func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.ID, ops int, empty bool, err error) {
+	t, release, err := e.acquire()
+	if errors.Is(err, ErrNoProfiles) {
+		return dst, 0, true, nil
+	}
+	if err != nil {
+		return dst, 0, false, err
+	}
+	matched, matchOps := t.Match(vals)
+	ids = dst
+	if ids == nil {
+		ids = make([]predicate.ID, 0, len(matched))
+	}
+	profiles := t.Profiles()
+	for _, pi := range matched {
+		ids = append(ids, profiles[pi].ID)
+	}
+	release()
+	return ids, matchOps, false, nil
 }
 
 // MatchDense is Match returning dense indices into the tree snapshot (hot
 // path; avoids the ID materialization). The indices are only meaningful
 // against Tree().Profiles() of the same snapshot.
 func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
-	t, err := e.snapshot()
+	t, release, err := e.acquire()
 	if errors.Is(err, ErrNoProfiles) {
 		return nil, 0, nil // an empty filter matches nothing
 	}
@@ -392,28 +409,71 @@ func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
 		return nil, 0, err
 	}
 	matched, ops := t.Match(vals)
+	release()
 	e.account.Record(ops, len(matched))
 	return matched, ops, nil
 }
 
-// snapshot returns the current automaton, rebuilding it when profiles
-// changed since the last build.
-func (e *Engine) snapshot() (*tree.Tree, error) {
+// acquire returns the current automaton with the engine read lock held,
+// rebuilding first when profiles changed since the last build. The caller
+// must invoke release when done traversing: Reorder applies value orders to
+// the live tree in place, so matches must exclude writers for their whole
+// traversal, not only while fetching the root pointer.
+func (e *Engine) acquire() (*tree.Tree, func(), error) {
 	e.mu.RLock()
 	if !e.dirty && e.tree != nil {
-		t := e.tree
+		return e.tree, e.mu.RUnlock, nil
+	}
+	if len(e.dense) == 0 {
+		// Decide emptiness under the read lock: an empty engine (e.g. an
+		// unpopulated shard) must not escalate to the write lock on every
+		// match, or parallel publishers re-serialize on it.
 		e.mu.RUnlock()
-		return t, nil
+		return nil, nil, ErrNoProfiles
 	}
 	e.mu.RUnlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.dirty || e.tree == nil {
 		if err := e.rebuildLocked(); err != nil {
-			return nil, err
+			e.mu.Unlock()
+			return nil, nil, err
 		}
 	}
-	return e.tree, nil
+	// Serve the traversal from the freshly built tree while still holding
+	// the write lock: dropping it to re-enter the read path could loop
+	// forever under sustained profile churn (every re-entry finding the
+	// tree re-dirtied and paying another rebuild). Single-event traversals
+	// are short, so the write-hold is cheap; long traversals use
+	// acquireShared instead.
+	return e.tree, e.mu.Unlock, nil
+}
+
+// acquireShared is acquire for long traversals (whole batches): it prefers
+// serving from the read lock — holding the write lock across a large batch
+// would stall every concurrent publisher on the shard — and pays a bounded
+// number of rebuild/retry rounds under churn before falling back to
+// acquire's write-held traversal.
+func (e *Engine) acquireShared() (*tree.Tree, func(), error) {
+	for try := 0; try < 4; try++ {
+		e.mu.RLock()
+		if !e.dirty && e.tree != nil {
+			return e.tree, e.mu.RUnlock, nil
+		}
+		if len(e.dense) == 0 {
+			e.mu.RUnlock()
+			return nil, nil, ErrNoProfiles
+		}
+		e.mu.RUnlock()
+		e.mu.Lock()
+		if e.dirty || e.tree == nil {
+			if err := e.rebuildLocked(); err != nil {
+				e.mu.Unlock()
+				return nil, nil, err
+			}
+		}
+		e.mu.Unlock()
+	}
+	return e.acquire()
 }
 
 // Tree exposes the current automaton (nil until built). The experiments
@@ -427,17 +487,12 @@ func (e *Engine) Tree() *tree.Tree {
 // Analyze runs the analytic cost model (Eq. 2) under the engine's event
 // distributions.
 func (e *Engine) Analyze() (selectivity.Analysis, error) {
-	e.mu.Lock()
-	if e.dirty || e.tree == nil {
-		if err := e.rebuildLocked(); err != nil {
-			e.mu.Unlock()
-			return selectivity.Analysis{}, err
-		}
+	t, release, err := e.acquire()
+	if err != nil {
+		return selectivity.Analysis{}, err
 	}
-	t := e.tree
-	ed := e.eventDists()
-	e.mu.Unlock()
-	return selectivity.Analyze(t, ed), nil
+	defer release()
+	return selectivity.Analyze(t, e.eventDists()), nil
 }
 
 // Account returns the live operation accounting summary.

@@ -297,15 +297,15 @@ func TestMatchBatch(t *testing.T) {
 		t.Fatalf("results = %d", len(batch))
 	}
 	for i, ev := range events {
-		seq, ops, err := e.MatchDense(ev)
+		ids, ops, err := e.Match(ev)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if ops != batch[i].Ops || len(seq) != len(batch[i].Matched) {
-			t.Fatalf("event %d: batch %+v vs sequential %v/%d", i, batch[i], seq, ops)
+		if ops != batch[i].Ops || len(ids) != len(batch[i].IDs) {
+			t.Fatalf("event %d: batch %+v vs sequential %v/%d", i, batch[i], ids, ops)
 		}
-		for j := range seq {
-			if seq[j] != batch[i].Matched[j] {
+		for j := range ids {
+			if ids[j] != batch[i].IDs[j] {
 				t.Fatalf("event %d: match sets differ", i)
 			}
 		}
@@ -316,7 +316,7 @@ func TestMatchBatch(t *testing.T) {
 	}
 	empty := NewEngine(s, Config{})
 	out, err := empty.MatchBatch(events[:3], 2)
-	if err != nil || len(out) != 3 || out[0].Matched != nil {
+	if err != nil || len(out) != 3 || out[0].IDs != nil {
 		t.Errorf("empty engine batch: %v %v", out, err)
 	}
 }

@@ -44,6 +44,27 @@ func New(s *schema.Schema, vals ...float64) (Event, error) {
 	return e, nil
 }
 
+// FromMap builds a schema-validated event from attribute name → value.
+// Every schema attribute must be present: silently zero-filling an omitted
+// attribute would fabricate data. The service facade and the wire server
+// share this one validation path.
+func FromMap(s *schema.Schema, values map[string]float64) (Event, error) {
+	vals := make([]float64, s.N())
+	seen := 0
+	for name, v := range values {
+		i, err := s.Index(name)
+		if err != nil {
+			return Event{}, err
+		}
+		vals[i] = v
+		seen++
+	}
+	if seen != s.N() {
+		return Event{}, fmt.Errorf("%w: event specifies %d of %d attributes", ErrArity, seen, s.N())
+	}
+	return New(s, vals...)
+}
+
 // MustNew is New that panics on error, for tests and examples.
 func MustNew(s *schema.Schema, vals ...float64) Event {
 	e, err := New(s, vals...)

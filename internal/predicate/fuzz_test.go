@@ -1,0 +1,67 @@
+package predicate
+
+import (
+	"testing"
+
+	"genas/internal/schema"
+)
+
+// fuzzSchema mirrors the paper's running example: numeric, integer and
+// categorical attributes so every parser path is reachable.
+func fuzzSchema() *schema.Schema {
+	temp, _ := schema.NewNumericDomain(-30, 50)
+	hum, _ := schema.NewIntegerDomain(0, 100)
+	sev, _ := schema.NewCategoricalDomain("low", "mid", "high")
+	return schema.MustNew(
+		schema.Attribute{Name: "temperature", Domain: temp},
+		schema.Attribute{Name: "humidity", Domain: hum},
+		schema.Attribute{Name: "severity", Domain: sev},
+	)
+}
+
+// FuzzParseProfile asserts the profile-language parser never panics: every
+// input either parses or returns an error. A successfully parsed profile
+// must render back into a parseable expression (the language round-trips).
+func FuzzParseProfile(f *testing.F) {
+	// Seeds from the paper's notation (§3, §4.2) plus edge shapes.
+	for _, seed := range []string{
+		"profile(temperature <= 35; humidity = 90; severity = *)",
+		"profile(temperature in [-30,-20]; humidity in [40,100])",
+		"profile(severity in {low, high})",
+		"profile(temperature >= 35)",
+		"profile(humidity != 50)",
+		"temperature < 0",
+		"profile(temperature = *)",
+		"profile()",
+		"profile(temperature in [5,1])",
+		"profile(humidity in {})",
+		"profile(temperature >= )",
+		"profile(bogus = 1)",
+		"profile(temperature in [1,2,3])",
+		"profile(severity = panic)",
+		"profile(temperature <= 1e308; humidity = 3)",
+		"profile(temperature <= -1e999)",
+		"profile(temperature <= NaN)",
+		"profile(temperature in [NaN,NaN])",
+		"profile(temperature <= 35",
+		";;;",
+		"profile(temperature<=35;temperature>=10)",
+	} {
+		f.Add(seed)
+	}
+	s := fuzzSchema()
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(s, "fuzz", text)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("Parse(%q) returned nil profile and nil error", text)
+		}
+		rendered := p.Render(s)
+		if _, err := Parse(s, "fuzz2", rendered); err != nil {
+			t.Fatalf("round trip failed: Parse(%q) ok, but rendering %q does not re-parse: %v",
+				text, rendered, err)
+		}
+	})
+}

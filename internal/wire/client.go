@@ -73,12 +73,17 @@ func (c *Client) Notifications() <-chan Response { return c.notifs }
 
 // roundTrip sends one request and waits for its reply.
 func (c *Client) roundTrip(req Request, timeout time.Duration) (Response, error) {
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
 	b, err := EncodeLine(req)
 	if err != nil {
 		return Response{}, err
 	}
+	return c.roundTripLine(b, timeout)
+}
+
+// roundTripLine sends one pre-encoded frame and waits for its reply.
+func (c *Client) roundTripLine(b []byte, timeout time.Duration) (Response, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
 	if timeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
@@ -133,6 +138,62 @@ func (c *Client) Publish(ev map[string]float64, timeout time.Duration) (int, err
 		return 0, err
 	}
 	return resp.Matched, nil
+}
+
+// maxBatchFrame is the largest encoded publish_batch frame the client sends
+// in one line: the server reads a frame as one line capped at 1 MiB, and an
+// oversized line would kill the connection without an error frame. Batches
+// that encode larger are split transparently.
+const maxBatchFrame = 1<<20 - 64*1024
+
+// PublishBatch posts several events as a batch and returns the per-event
+// match counts, positionally aligned with evs. Batches whose encoding
+// exceeds the server's frame cap are split into several publish_batch
+// frames automatically. On error the counts gathered so far are returned
+// alongside it as a lower bound on what was committed: the frame that
+// errored may itself have been processed by the server (e.g. a response
+// timeout after a successful write), so callers must not treat the count as
+// exact when deciding to retry.
+func (c *Client) PublishBatch(evs []map[string]float64, timeout time.Duration) ([]int, error) {
+	if len(evs) == 0 {
+		return nil, nil
+	}
+	line, err := EncodeLine(Request{Op: OpPublishBatch, Events: evs})
+	if err != nil {
+		return nil, err
+	}
+	if len(line) > maxBatchFrame {
+		if len(evs) == 1 {
+			return nil, fmt.Errorf("wire: event encodes to %d bytes, exceeding the %d-byte frame cap", len(line), maxBatchFrame)
+		}
+		// Split proportionally to the measured encoding, so each chunk is
+		// encoded roughly once more; recursion only handles size skew
+		// between events (recursive halving would re-encode every event
+		// once per level).
+		chunks := len(line)/maxBatchFrame + 1
+		if chunks > len(evs) {
+			chunks = len(evs)
+		}
+		per := (len(evs) + chunks - 1) / chunks
+		counts := make([]int, 0, len(evs))
+		for lo := 0; lo < len(evs); lo += per {
+			hi := lo + per
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			part, err := c.PublishBatch(evs[lo:hi], timeout)
+			counts = append(counts, part...)
+			if err != nil {
+				return counts, err
+			}
+		}
+		return counts, nil
+	}
+	resp, err := c.roundTripLine(line, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.MatchedEach, nil
 }
 
 // Quench asks whether the region [lo,hi] of attr is unsubscribed.

@@ -230,15 +230,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
 
 	case OpPublish:
-		vals := make([]float64, sch.N())
-		for name, v := range req.Event {
-			i, err := sch.Index(name)
-			if err != nil {
-				return err
-			}
-			vals[i] = v
-		}
-		ev, err := event.New(sch, vals...)
+		ev, err := event.FromMap(sch, req.Event)
 		if err != nil {
 			return err
 		}
@@ -247,6 +239,28 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 			return err
 		}
 		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Matched: matched})
+
+	case OpPublishBatch:
+		if len(req.Events) == 0 {
+			return errors.New("publish_batch: no events")
+		}
+		evs := make([]event.Event, len(req.Events))
+		for i, payload := range req.Events {
+			ev, err := event.FromMap(sch, payload)
+			if err != nil {
+				return fmt.Errorf("event %d: %w", i, err)
+			}
+			evs[i] = ev
+		}
+		counts, err := s.brk.PublishBatch(evs)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Matched: total, MatchedEach: counts})
 
 	case OpQuench:
 		i, err := sch.Index(req.Attr)

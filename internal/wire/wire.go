@@ -19,11 +19,15 @@ const (
 	OpSubscribe   Op = "subscribe"
 	OpUnsubscribe Op = "unsubscribe"
 	OpPublish     Op = "publish"
-	OpStats       Op = "stats"
-	OpQuench      Op = "quench"
-	OpSchema      Op = "schema"
-	OpProfiles    Op = "profiles"
-	OpPing        Op = "ping"
+	// OpPublishBatch posts several events in one frame; the broker filters
+	// them against one corpus snapshot and assigns contiguous sequence
+	// numbers in frame order.
+	OpPublishBatch Op = "publish_batch"
+	OpStats        Op = "stats"
+	OpQuench       Op = "quench"
+	OpSchema       Op = "schema"
+	OpProfiles     Op = "profiles"
+	OpPing         Op = "ping"
 )
 
 // Request is one client→server message.
@@ -37,6 +41,9 @@ type Request struct {
 	Priority float64 `json:"priority,omitempty"`
 	// Event carries publish payloads as attribute name → value.
 	Event map[string]float64 `json:"event,omitempty"`
+	// Events carries a publish_batch payload: one event per element, each as
+	// attribute name → value.
+	Events []map[string]float64 `json:"events,omitempty"`
 	// Attr/Lo/Hi describe a quench query region.
 	Attr string  `json:"attr,omitempty"`
 	Lo   float64 `json:"lo,omitempty"`
@@ -69,8 +76,12 @@ type Response struct {
 	Event map[string]float64 `json:"event,omitempty"`
 	// Seq is the broker sequence number of the notified event.
 	Seq uint64 `json:"seq,omitempty"`
-	// Matched reports how many profiles a published event matched.
+	// Matched reports how many profiles a published event matched (for a
+	// batch: the sum over the frame).
 	Matched int `json:"matched,omitempty"`
+	// MatchedEach reports per-event match counts for publish_batch,
+	// positionally aligned with the request's Events.
+	MatchedEach []int `json:"matched_each,omitempty"`
 	// Quenched answers quench queries.
 	Quenched bool `json:"quenched,omitempty"`
 	// Stats carries broker statistics.
