@@ -1,0 +1,160 @@
+package genas
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update", false, "rewrite API.txt with the current public surface")
+
+// TestAPISurface is the apidiff gate: it type-checks the package and dumps
+// every exported object — functions and methods with full signatures, vars
+// and consts with their (possibly inferred) types, types with their exported
+// fields and method sets — and compares the dump against the committed
+// API.txt. Any change to the public surface fails until API.txt is
+// regenerated with `go test -run TestAPISurface -update .`, making surface
+// changes deliberate, reviewed events rather than accidents. Because the
+// dump goes through go/types, re-exported function values (NewSchema,
+// ParseSchema, …) and aliases carry the signature of their target: a
+// signature change anywhere beneath the surface shows up here.
+func TestAPISurface(t *testing.T) {
+	got, err := publicSurface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateSurface {
+		if err := os.WriteFile("API.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("API.txt updated")
+		return
+	}
+	wantBytes, err := os.ReadFile("API.txt")
+	if err != nil {
+		t.Fatalf("missing API.txt golden (regenerate with -update): %v", err)
+	}
+	want := string(wantBytes)
+	if got != want {
+		t.Errorf("public API surface changed; if intentional, regenerate with `go test -run TestAPISurface -update .` and document the change in MIGRATION.md.\n--- API.txt\n+++ current\n%s", surfaceDiff(want, got))
+	}
+}
+
+// publicSurface type-checks the package in dir and renders its exported
+// objects as a sorted, newline-separated list.
+func publicSurface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return "", err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("genas", fset, files, nil)
+	if err != nil {
+		return "", err
+	}
+	qual := types.RelativeTo(pkg)
+	var lines []string
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.Func:
+			lines = append(lines, "func "+o.Name()+strings.TrimPrefix(types.TypeString(o.Type(), qual), "func"))
+		case *types.Var:
+			lines = append(lines, "var "+o.Name()+" "+types.TypeString(o.Type(), qual))
+		case *types.Const:
+			lines = append(lines, "const "+o.Name()+" "+types.TypeString(o.Type(), qual))
+		case *types.TypeName:
+			lines = append(lines, typeLines(o, qual)...)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+// typeLines renders one exported type: its declaration (alias target, or
+// underlying kind with exported struct fields) and its exported methods.
+func typeLines(tn *types.TypeName, qual types.Qualifier) []string {
+	var lines []string
+	name := tn.Name()
+	if tn.IsAlias() {
+		lines = append(lines, "type "+name+" = "+types.TypeString(tn.Type(), qual))
+		// Alias method sets belong to the target type; changes there are
+		// caught by the target's signature in the alias line's package.
+		return lines
+	}
+	switch u := tn.Type().Underlying().(type) {
+	case *types.Struct:
+		var fields []string
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			fields = append(fields, f.Name()+" "+types.TypeString(f.Type(), qual))
+		}
+		lines = append(lines, "type "+name+" struct { "+strings.Join(fields, "; ")+" }")
+	default:
+		lines = append(lines, "type "+name+" "+types.TypeString(u, qual))
+	}
+	// Exported methods of *T cover both value and pointer receivers.
+	mset := types.NewMethodSet(types.NewPointer(tn.Type()))
+	for i := 0; i < mset.Len(); i++ {
+		m := mset.At(i).Obj()
+		if !m.Exported() {
+			continue
+		}
+		lines = append(lines, "method ("+name+") "+m.Name()+strings.TrimPrefix(types.TypeString(m.Type(), qual), "func"))
+	}
+	return lines
+}
+
+// surfaceDiff renders a minimal line diff: lines only in want (-) and only
+// in got (+).
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

@@ -522,6 +522,117 @@ func BenchmarkPublishBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPublishPath contrasts the three event-assembly paths of the v1
+// API on a hot publish loop: the v0-style map, positional PublishValues, and
+// the reusable EventBuilder. Run with -benchmem — the interesting number is
+// allocs/op. The "miss" variants publish events matching no profile (the
+// filter's common case, and the paper's premise): the builder path allocates
+// nothing, PublishValues pays only its variadic slice, the map path pays a
+// map plus a values slice per event. The "hit" variants match ~4 profiles
+// and additionally pay one event-values copy for delivery.
+func BenchmarkPublishPath(b *testing.B) {
+	mk := func(b *testing.B) *Service {
+		b.Helper()
+		sch := MustSchema(Attr("v", MustIntegerDomain(0, 999)))
+		svc, err := NewService(sch, WithBinarySearch())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(benchSeed))
+		for i := 0; i < 2000; i++ {
+			expr := fmt.Sprintf("profile(v = %d)", rng.Intn(500))
+			if _, err := svc.Subscribe(fmt.Sprintf("p%d", i), expr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return svc
+	}
+	// miss: values in [500,999] match nothing; hit: values in [0,499] match
+	// ~4 profiles each.
+	val := func(i int, hit bool) float64 {
+		if hit {
+			return float64(i % 500)
+		}
+		return float64(500 + i%500)
+	}
+	for _, hit := range []bool{false, true} {
+		suffix := "/miss"
+		if hit {
+			suffix = "/hit"
+		}
+		b.Run("map"+suffix, func(b *testing.B) {
+			svc := mk(b)
+			defer svc.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.Publish(map[string]float64{"v": val(i, hit)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("values"+suffix, func(b *testing.B) {
+			svc := mk(b)
+			defer svc.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.PublishValues(val(i, hit)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("builder"+suffix, func(b *testing.B) {
+			svc := mk(b)
+			defer svc.Close()
+			eb := svc.NewEvent()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eb.Set("v", val(i, hit)).Publish(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestPublishPathAllocations pins the acceptance criterion: the builder and
+// Values paths perform zero map allocations per published event, and the
+// builder path allocates nothing at all for non-matching events.
+func TestPublishPathAllocations(t *testing.T) {
+	sch := MustSchema(Attr("v", MustIntegerDomain(0, 999)))
+	svc, err := NewService(sch, WithBinarySearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := svc.Subscribe(fmt.Sprintf("p%d", i), fmt.Sprintf("profile(v = %d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eb := svc.NewEvent()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := eb.Set("v", 999).Publish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EventBuilder publish of a non-matching event allocates %.1f objects/event, want 0", allocs)
+	}
+	// A matching event pays exactly the delivery copies (event values slice
+	// + engine match buffer), still no map.
+	allocs = testing.AllocsPerRun(1000, func() {
+		if _, err := eb.Set("v", 42).Publish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("EventBuilder publish of a matching event allocates %.1f objects/event, want <= 3", allocs)
+	}
+}
+
 // BenchmarkMatchBatch measures parallel batch matching against the
 // sequential path on the same workload.
 func BenchmarkMatchBatch(b *testing.B) {
@@ -541,7 +652,7 @@ func BenchmarkMatchBatch(b *testing.B) {
 	for i := range events {
 		events[i] = []float64{float64(rng.Intn(100))}
 	}
-	engine := svc.Broker().Engine()
+	engine := svc.brk.Engine()
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -6,7 +6,8 @@
 //
 //	genasd -addr :7452 \
 //	       -schema 'temperature=numeric[-30,50]; humidity=numeric[0,100]; radiation=numeric[1,100]' \
-//	       -adaptive -measure event -attrs A2 -shards 8
+//	       -adaptive -measure event -attrs A2 -shards 8 \
+//	       -defaults 'radiation=1'
 package main
 
 import (
@@ -19,13 +20,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
-	"genas/internal/adaptive"
-	"genas/internal/broker"
-	"genas/internal/core"
-	"genas/internal/schema"
-	"genas/internal/tree"
+	"genas"
+	"genas/internal/hook"
 	"genas/internal/wire"
 )
 
@@ -49,6 +49,7 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		attrs      = fs.String("attrs", "natural", "attribute ordering: natural | A1 | A2 | A3")
 		search     = fs.String("search", "linear", "node search: linear | binary | interpolation | hash")
 		shards     = fs.Int("shards", 1, "engine/delivery shard count (0 = GOMAXPROCS, 1 = single tree)")
+		defaults   = fs.String("defaults", "", "fill-ins for omitted event attributes, e.g. 'radiation=1; humidity=0'")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -62,47 +63,59 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		logger.Print("missing -schema")
 		return 2
 	}
-	sch, err := schema.ParseSpec(*schemaSpec)
+	sch, err := genas.ParseSchema(*schemaSpec)
 	if err != nil {
 		logger.Printf("bad schema: %v", err)
 		return 2
 	}
 
-	cfg, err := engineConfig(*measure, *attrs, *search)
-	if err != nil {
-		logger.Print(err)
-		return 2
-	}
 	if *shards < 0 {
 		logger.Printf("bad -shards %d", *shards)
 		return 2
 	}
-	n := core.ResolveShards(*shards)
-	opts := broker.Options{Engine: cfg, Adaptive: *adaptiveOn, Shards: n}
+	opts := []genas.Option{
+		genas.WithValueMeasure(*measure),
+		genas.WithAttrOrdering(*attrs),
+		genas.WithSearch(*search),
+		genas.WithShards(*shards),
+	}
 	if *adaptiveOn {
-		opts.Policy = adaptive.Policy{Window: *window, Threshold: *threshold}
+		opts = append(opts, genas.WithAdaptivePolicy(*window, *threshold, false))
 		if *goal == "user" {
-			opts.Policy.Goal = adaptive.UserCentric
+			opts = append(opts, genas.WithUserCentricAdaptive())
 		}
 	}
-	brk, err := broker.New(sch, opts)
-	if err != nil {
-		logger.Printf("broker: %v", err)
-		return 1
+	if *defaults != "" {
+		byAttr, err := parseDefaults(*defaults)
+		if err != nil {
+			logger.Printf("bad -defaults: %v", err)
+			return 2
+		}
+		opts = append(opts, genas.WithDefaults(byAttr))
 	}
-	defer brk.Close()
+	svc, err := genas.NewService(sch, opts...)
+	if err != nil {
+		// Option errors (unknown measure, ordering, search, bad defaults)
+		// are configuration mistakes, same exit class as flag errors.
+		logger.Printf("service: %v", err)
+		return 2
+	}
+	defer svc.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Printf("listen: %v", err)
 		return 1
 	}
-	logger.Printf("listening on %s with schema %s (%d shards)", ln.Addr(), sch, n)
+	logger.Printf("listening on %s with schema %s (%d shards)", ln.Addr(), sch, hook.BrokerOf(svc).Shards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := wire.NewServer(brk, logger)
+	// The wire server programs against the broker; the internal hook hands
+	// it over without the facade growing a public escape hatch.
+	srv := wire.NewServer(hook.BrokerOf(svc), logger)
+	srv.SetDefaults(hook.DefaultsOf(svc))
 	defer srv.Close()
 	// On shutdown, disconnect clients too: canceling the context only stops
 	// the accept loop, and Serve waits for connected clients otherwise.
@@ -126,43 +139,23 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 	return 0
 }
 
-func engineConfig(measure, attrs, search string) (core.Config, error) {
-	var cfg core.Config
-	switch measure {
-	case "natural":
-		cfg.ValueMeasure = core.ValueNatural
-	case "event":
-		cfg.ValueMeasure = core.ValueEvent
-	case "profile":
-		cfg.ValueMeasure = core.ValueProfile
-	case "event*profile":
-		cfg.ValueMeasure = core.ValueCombined
-	default:
-		return cfg, fmt.Errorf("unknown -measure %q", measure)
+// parseDefaults reads the -defaults spec: 'attr=value; attr=value'.
+func parseDefaults(spec string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("missing '=' in %q", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(part[eq+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", part)
+		}
+		out[strings.TrimSpace(part[:eq])] = v
 	}
-	switch attrs {
-	case "natural":
-		cfg.AttrOrdering = core.AttrNatural
-	case "A1":
-		cfg.AttrOrdering = core.AttrA1
-	case "A2":
-		cfg.AttrOrdering = core.AttrA2
-	case "A3":
-		cfg.AttrOrdering = core.AttrA3
-	default:
-		return cfg, fmt.Errorf("unknown -attrs %q", attrs)
-	}
-	switch search {
-	case "linear":
-		cfg.Search = tree.SearchLinear
-	case "binary":
-		cfg.Search = tree.SearchBinary
-	case "interpolation":
-		cfg.Search = tree.SearchInterpolation
-	case "hash":
-		cfg.Search = tree.SearchHash
-	default:
-		return cfg, fmt.Errorf("unknown -search %q", search)
-	}
-	return cfg, nil
+	return out, nil
 }

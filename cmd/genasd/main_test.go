@@ -1,36 +1,22 @@
 package main
 
-import (
-	"testing"
+import "testing"
 
-	"genas/internal/core"
-	"genas/internal/tree"
-)
-
-func TestEngineConfig(t *testing.T) {
-	cfg, err := engineConfig("event", "A2", "binary")
+func TestParseDefaults(t *testing.T) {
+	d, err := parseDefaults("radiation=1; humidity=0.5")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.ValueMeasure != core.ValueEvent || cfg.AttrOrdering != core.AttrA2 || cfg.Search != tree.SearchBinary {
-		t.Errorf("cfg = %+v", cfg)
+	if len(d) != 2 || d["radiation"] != 1 || d["humidity"] != 0.5 {
+		t.Errorf("defaults = %v", d)
 	}
-	for _, c := range [][3]string{
-		{"natural", "natural", "linear"},
-		{"profile", "A1", "interpolation"},
-		{"event*profile", "A3", "hash"},
-	} {
-		if _, err := engineConfig(c[0], c[1], c[2]); err != nil {
-			t.Errorf("engineConfig(%v): %v", c, err)
-		}
+	if d, err := parseDefaults("  "); err != nil || len(d) != 0 {
+		t.Errorf("blank spec: %v, %v", d, err)
 	}
-	if _, err := engineConfig("bogus", "A1", "linear"); err == nil {
-		t.Error("bad measure must fail")
+	if _, err := parseDefaults("radiation"); err == nil {
+		t.Error("missing '=' must fail")
 	}
-	if _, err := engineConfig("event", "A7", "linear"); err == nil {
-		t.Error("bad ordering must fail")
-	}
-	if _, err := engineConfig("event", "A1", "quantum"); err == nil {
-		t.Error("bad search must fail")
+	if _, err := parseDefaults("radiation=low"); err == nil {
+		t.Error("non-numeric value must fail")
 	}
 }

@@ -108,6 +108,33 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDaemonDefaults covers -defaults: the configured attribute may be
+// omitted from publish frames, everything else stays mandatory.
+func TestDaemonDefaults(t *testing.T) {
+	addr, _, stop := startDaemon(t, "-defaults", "humidity=0")
+	c, err := wire.Dial(addr.String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if err := c.Subscribe("dry-heat", "profile(temperature >= 35; humidity <= 5)", 0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	matched, err := c.Publish(map[string]float64{"temperature": 40}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 1 {
+		t.Errorf("matched = %d, want the humidity default 0 applied", matched)
+	}
+	if _, err := c.Publish(map[string]float64{"humidity": 10}, 5*time.Second); err == nil {
+		t.Error("omitting an attribute without a default must still fail")
+	}
+	if code := stop(); code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
 // TestDaemonShardsDefault covers -shards 0 (GOMAXPROCS) startup.
 func TestDaemonShardsDefault(t *testing.T) {
 	addr, stderr, stop := startDaemon(t, "-shards", "0")
@@ -140,6 +167,9 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"bad attrs", []string{"-schema", "x=numeric[0,1]", "-attrs", "A9"}, 2},
 		{"bad search", []string{"-schema", "x=numeric[0,1]", "-search", "quantum"}, 2},
 		{"bad shards", []string{"-schema", "x=numeric[0,1]", "-shards", "-3"}, 2},
+		{"bad defaults syntax", []string{"-schema", "x=numeric[0,1]", "-defaults", "x"}, 2},
+		{"bad defaults attr", []string{"-schema", "x=numeric[0,1]", "-defaults", "y=0"}, 2},
+		{"bad defaults domain", []string{"-schema", "x=numeric[0,1]", "-defaults", "x=7"}, 2},
 		{"bad flag", []string{"-no-such-flag"}, 2},
 		{"bad addr", []string{"-schema", "x=numeric[0,1]", "-addr", "256.0.0.1:bogus"}, 1},
 	}

@@ -1,0 +1,25 @@
+package genas
+
+import "genas/internal/sentinel"
+
+// The v1 error sentinels. Every error the service returns wraps one of these
+// where applicable, so callers discriminate with errors.Is against public
+// values only — no internal error value is part of the supported surface.
+//
+//	if _, err := svc.Publish(vals); errors.Is(err, genas.ErrOutOfDomain) { … }
+var (
+	// ErrUnknownAttribute reports an attribute name (or index) that is not
+	// part of the service schema.
+	ErrUnknownAttribute = sentinel.ErrUnknownAttribute
+	// ErrOutOfDomain reports an event or default value outside its
+	// attribute's domain.
+	ErrOutOfDomain = sentinel.ErrOutOfDomain
+	// ErrDuplicateID reports a subscription id that is already registered.
+	ErrDuplicateID = sentinel.ErrDuplicateID
+	// ErrUnknownID reports a subscription id that is not registered.
+	ErrUnknownID = sentinel.ErrUnknownID
+	// ErrClosed reports an operation on a closed service or subscription.
+	ErrClosed = sentinel.ErrClosed
+	// ErrBadBuffer reports a non-positive notification buffer size.
+	ErrBadBuffer = sentinel.ErrBadBuffer
+)

@@ -33,7 +33,7 @@ func run() error {
 	nw := genas.NewNetwork(sch, true)
 	defer nw.Close()
 	for _, n := range []string{"frankfurt", "berlin", "paris", "hamburg", "munich"} {
-		if _, err := nw.AddNode(n); err != nil {
+		if err := nw.AddNode(n); err != nil {
 			return err
 		}
 	}
@@ -46,15 +46,10 @@ func run() error {
 		}
 	}
 
-	// A helper service purely for parsing profile expressions.
-	parser, err := genas.NewService(sch)
-	if err != nil {
-		return err
-	}
-	defer parser.Close()
-
-	subscribe := func(node, id, expr string) (*genas.Subscription, error) {
-		p, err := parser.ParseProfile(id, expr)
+	// Typed profiles, no parsing: the builder compiles to the same predicate
+	// form the profile language produces.
+	subscribe := func(node string, b *genas.ProfileBuilder) (*genas.Subscription, error) {
+		p, err := b.Build(sch)
 		if err != nil {
 			return nil, err
 		}
@@ -64,15 +59,18 @@ func run() error {
 	// Hamburg wants every strong quake; Munich only region 3; Paris has a
 	// broad profile that covers Munich's (covering prunes the narrow route
 	// on shared links).
-	hamburg, err := subscribe("hamburg", "strong", "profile(magnitude >= 6)")
+	hamburg, err := subscribe("hamburg",
+		genas.NewProfile("strong").Where("magnitude", genas.GE(6)))
 	if err != nil {
 		return err
 	}
-	munich, err := subscribe("munich", "region3", "profile(region = 3; magnitude >= 4)")
+	munich, err := subscribe("munich",
+		genas.NewProfile("region3").Where("region", genas.Eq(3)).Where("magnitude", genas.GE(4)))
 	if err != nil {
 		return err
 	}
-	paris, err := subscribe("paris", "broad", "profile(magnitude >= 4)")
+	paris, err := subscribe("paris",
+		genas.NewProfile("broad").Where("magnitude", genas.GE(4)))
 	if err != nil {
 		return err
 	}
@@ -80,12 +78,16 @@ func run() error {
 	rng := rand.New(rand.NewSource(11))
 	const events = 5000
 	totalMatches := 0
+	eb := genas.NewEvent(sch)
 	for i := 0; i < events; i++ {
-		ev, err := parser.ParseEvent(fmt.Sprintf("event(region=%d; magnitude=%.2f)",
-			rng.Intn(10), rng.Float64()*10))
+		ev, err := eb.
+			Set("region", float64(rng.Intn(10))).
+			Set("magnitude", rng.Float64()*10).
+			Event()
 		if err != nil {
 			return err
 		}
+		eb.Reset()
 		m, err := nw.Publish("frankfurt", ev)
 		if err != nil {
 			return err

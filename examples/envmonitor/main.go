@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"genas"
 )
@@ -34,56 +36,69 @@ func run() error {
 	}
 	defer svc.Close()
 
-	// Catastrophe warnings: tiny extreme regions of each domain.
-	warnings := map[string]string{
-		"heat-wave":       "profile(temperature >= 45)",
-		"deep-frost":      "profile(temperature <= -25)",
-		"flood-humidity":  "profile(humidity >= 98)",
-		"uv-alert":        "profile(radiation >= 90)",
-		"combined-stress": "profile(temperature >= 40; humidity >= 95)",
+	// Catastrophe warnings: tiny extreme regions of each domain, as typed
+	// profiles. Handler delivery counts notifications without a drain loop;
+	// DropOldest keeps the freshest alarms when a handler lags.
+	warnings := []*genas.ProfileBuilder{
+		genas.NewProfile("heat-wave").Where("temperature", genas.GE(45)).Priority(2),
+		genas.NewProfile("deep-frost").Where("temperature", genas.LE(-25)),
+		genas.NewProfile("flood-humidity").Where("humidity", genas.GE(98)),
+		genas.NewProfile("uv-alert").Where("radiation", genas.GE(90)),
+		genas.NewProfile("combined-stress").Where("temperature", genas.GE(40)).Where("humidity", genas.GE(95)),
 	}
+	var deliveredCount atomic.Int64
 	var subs []*genas.Subscription
-	for id, expr := range warnings {
-		sub, err := svc.Subscribe(id, expr)
+	for _, b := range warnings {
+		sub, err := b.Subscribe(svc,
+			genas.SubBuffer(256),
+			genas.SubDropOldest(),
+			genas.SubHandler(func(genas.Notification) { deliveredCount.Add(1) }),
+		)
 		if err != nil {
 			return err
 		}
 		subs = append(subs, sub)
 	}
 
-	// Simulated sensor field: benign readings with rare extremes.
+	// Simulated sensor field: benign readings with rare extremes. The event
+	// builder reuses one positional buffer — no allocation per reading.
 	rng := rand.New(rand.NewSource(42))
 	const readings = 20000
 	alarms := 0
+	eb := svc.NewEvent()
 	for i := 0; i < readings; i++ {
 		temp := -10 + rng.Float64()*40 // mostly -10..30 °C
 		if rng.Float64() < 0.003 {
 			temp = 45 + rng.Float64()*5 // rare heat spike
 		}
-		m, err := svc.Publish(map[string]float64{
-			"temperature": temp,
-			"humidity":    rng.Float64() * 90,
-			"radiation":   1 + rng.Float64()*80,
-		})
+		m, err := eb.
+			Set("temperature", temp).
+			Set("humidity", rng.Float64()*90).
+			Set("radiation", 1+rng.Float64()*80).
+			Publish()
 		if err != nil {
 			return err
 		}
 		alarms += m
 	}
 
-	// Drain outstanding notifications (each subscription has its own buffer).
-	delivered := 0
-	for _, sub := range subs {
-	drain:
-		for {
-			select {
-			case <-sub.C():
-				delivered++
-			default:
-				break drain
-			}
+	// Let the handler goroutines drain their buffers, then unsubscribe (the
+	// channels close, ending the handlers).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var pending uint64
+		for _, sub := range subs {
+			// DropOldest evictions count as delivered-then-dropped and
+			// never reach the handler, so the handler's target is the
+			// difference.
+			pending += sub.Delivered() - sub.Dropped()
 		}
+		if deliveredCount.Load() >= int64(pending) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
+	delivered := int(deliveredCount.Load())
 
 	st := svc.Stats()
 	ops, err := svc.ExpectedOpsPerEvent()

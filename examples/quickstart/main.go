@@ -30,16 +30,28 @@ func run() error {
 	}
 	defer svc.Close()
 
-	// The paper's five profiles P1–P5.
-	profiles := map[string]string{
-		"P1": "profile(temperature >= 35; humidity >= 90)",
+	// The paper's five profiles P1–P5, through both v1 front-ends: the typed
+	// builder and the profile language compile to identical profiles.
+	builders := []*genas.ProfileBuilder{
+		genas.NewProfile("P1").Where("temperature", genas.GE(35)).Where("humidity", genas.GE(90)),
+		genas.NewProfile("P3").Where("temperature", genas.GE(30)).Where("humidity", genas.GE(90)).
+			Where("radiation", genas.Between(35, 50)),
+		genas.NewProfile("P4").Where("temperature", genas.Between(-30, -20)).
+			Where("humidity", genas.LE(5)).Where("radiation", genas.Between(40, 100)),
+	}
+	expressions := map[string]string{
 		"P2": "profile(temperature >= 30; humidity >= 90)",
-		"P3": "profile(temperature >= 30; humidity >= 90; radiation in [35,50])",
-		"P4": "profile(temperature in [-30,-20]; humidity <= 5; radiation in [40,100])",
 		"P5": "profile(temperature >= 30; humidity >= 80)",
 	}
-	subs := make(map[string]*genas.Subscription, len(profiles))
-	for id, expr := range profiles {
+	subs := make(map[string]*genas.Subscription, 5)
+	for _, b := range builders {
+		sub, err := b.Subscribe(svc)
+		if err != nil {
+			return fmt.Errorf("subscribe builder profile: %w", err)
+		}
+		subs[sub.ID()] = sub
+	}
+	for id, expr := range expressions {
 		sub, err := svc.Subscribe(id, expr)
 		if err != nil {
 			return fmt.Errorf("subscribe %s: %w", id, err)
@@ -48,9 +60,8 @@ func run() error {
 	}
 
 	// The event of the paper's Equation (1): it must match P2 and P5.
-	matched, err := svc.Publish(map[string]float64{
-		"temperature": 30, "humidity": 90, "radiation": 2,
-	})
+	// PublishValues is the zero-allocation path (values in schema order).
+	matched, err := svc.PublishValues(30, 90, 2)
 	if err != nil {
 		return err
 	}

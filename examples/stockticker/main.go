@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 
 	"genas"
@@ -55,18 +56,19 @@ func run() error {
 	}
 	defer adaptive.Close()
 
-	// Users watch narrow price bands on a handful of hot symbols.
+	// Users watch narrow price bands on a handful of hot symbols: typed
+	// profiles with categorical labels, no expression formatting.
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < profiles; i++ {
 		sym := rng.Intn(6) // interest concentrates on six shares
 		center := 90 + rng.Float64()*40
-		expr := fmt.Sprintf("profile(symbol = SYM%02d; price in [%.0f,%.0f])",
-			sym, center-2, center+2)
-		id := fmt.Sprintf("watch%03d", i)
-		if _, err := static.Subscribe(id, expr); err != nil {
+		b := genas.NewProfile(fmt.Sprintf("watch%03d", i)).
+			Where("symbol", genas.Is(labels[sym])).
+			Where("price", genas.Between(math.Round(center-2), math.Round(center+2)))
+		if _, err := b.Subscribe(static); err != nil {
 			return err
 		}
-		if _, err := adaptive.Subscribe(id, expr); err != nil {
+		if _, err := b.Subscribe(adaptive); err != nil {
 			return err
 		}
 	}
@@ -79,11 +81,8 @@ func run() error {
 				sym = rng.Intn(6)             // hot symbols dominate the tape
 				price = 90 + rng.Float64()*40 // prices hover in the watched band
 			}
-			_, err := svc.Publish(map[string]float64{
-				"symbol": float64(sym),
-				"price":  price,
-				"volume": rng.Float64() * 1e6,
-			})
+			// The positional zero-allocation path: values in schema order.
+			_, err := svc.PublishValues(float64(sym), price, rng.Float64()*1e6)
 			if err != nil {
 				return err
 			}

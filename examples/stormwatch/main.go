@@ -71,6 +71,7 @@ func run() error {
 	// resolution, with a storm front scripted in the afternoon.
 	rng := rand.New(rand.NewSource(3))
 	start := time.Date(2026, 6, 10, 0, 0, 0, 0, time.UTC)
+	eb := svc.NewEvent() // one reusable positional buffer for the whole day
 	for minute := 0; minute < 24*60; minute++ {
 		at := start.Add(time.Duration(minute) * time.Minute)
 		pressure := 1010 + rng.Float64()*10
@@ -91,8 +92,10 @@ func run() error {
 			humidity = 96 + rng.Float64()*4
 		}
 
-		ev := genas.Event{Vals: []float64{pressure, wind, humidity, temp}, Time: at}
-		if _, err := svc.PublishEvent(ev); err != nil {
+		// Timestamped readings through the event builder: Values fills the
+		// positional buffer, At stamps the occurrence time the composite
+		// windows are evaluated against.
+		if _, err := eb.Values(pressure, wind, humidity, temp).At(at).Publish(); err != nil {
 			return err
 		}
 	}

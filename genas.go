@@ -19,13 +19,21 @@
 //	svc, _ := genas.NewService(sch, genas.WithAdaptive())
 //	defer svc.Close()
 //
-//	sub, _ := svc.Subscribe("heat-alarm", "profile(temperature >= 35)")
+//	sub, _ := genas.NewProfile("heat-alarm").
+//		Where("temperature", genas.GE(35)).
+//		Subscribe(svc, genas.SubBuffer(256))
 //	go func() {
 //		for n := range sub.C() {
 //			fmt.Println("notified:", n.Event.Render(sch))
 //		}
 //	}()
-//	svc.Publish(map[string]float64{"temperature": 41, "humidity": 80})
+//	svc.PublishValues(41, 80)
+//
+// The profile language is the equivalent string front-end
+// (svc.Subscribe("heat-alarm", "profile(temperature >= 35)")), and
+// Publish(map[string]float64{...}) the convenient map front-end; the builder
+// paths above are the allocation-free hot paths. See MIGRATION.md for the
+// v0→v1 mapping and API.txt for the gated public surface.
 //
 // The packages under internal/ implement the machinery: the profile tree
 // automaton, the selectivity measures and cost model, the distribution
@@ -34,6 +42,7 @@
 package genas
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,13 +51,17 @@ import (
 	"genas/internal/core"
 	"genas/internal/dist"
 	"genas/internal/event"
+	"genas/internal/hook"
 	"genas/internal/predicate"
-	"genas/internal/routing"
 	"genas/internal/schema"
 	"genas/internal/tree"
 )
 
-// Re-exported types: the public names of the service's vocabulary.
+// Re-exported types: the public names of the service's data vocabulary.
+// These aliases are the supported v1 names; the packages they point into are
+// internal and not importable by callers. Behavioral types (Subscription,
+// Stats, Network) are concrete types of this package — see subscription.go,
+// network.go and the Stats struct below.
 type (
 	// Schema is the ordered attribute set of a service instance.
 	Schema = schema.Schema
@@ -66,12 +79,6 @@ type (
 	Event = event.Event
 	// Notification is a delivered match.
 	Notification = broker.Notification
-	// Subscription is a live registration with its notification channel.
-	Subscription = broker.Subscription
-	// Stats is the broker counter snapshot.
-	Stats = broker.Stats
-	// Network is a distributed broker overlay.
-	Network = routing.Network
 )
 
 // Domain constructors re-exported from the schema package.
@@ -86,6 +93,9 @@ var (
 	NewSchema = schema.New
 	// MustSchema is NewSchema that panics on error.
 	MustSchema = schema.MustNew
+	// ParseSchema reads a schema spec string, e.g.
+	// "temperature=numeric[-30,50]; state=cat{ok,alarm}".
+	ParseSchema = schema.ParseSpec
 )
 
 // Attr is a convenience constructor for schema attributes.
@@ -116,6 +126,7 @@ type Option func(*options) error
 type options struct {
 	broker         broker.Options
 	eventDistNames map[string]string
+	defaultVals    map[string]float64
 }
 
 // WithAdaptive enables the adaptive filter component with event-centric
@@ -231,13 +242,26 @@ func WithShards(n int) Option {
 }
 
 // WithSubscriptionBuffer sets the default notification buffer per
-// subscription.
+// subscription (overridable per subscription with SubBuffer).
 func WithSubscriptionBuffer(n int) Option {
 	return func(o *options) error {
 		if n <= 0 {
-			return broker.ErrBadBufferSize
+			return ErrBadBuffer
 		}
 		o.broker.DefaultBuffer = n
+		return nil
+	}
+}
+
+// WithDefaults configures fallback values for event attributes a publisher
+// may omit: an event missing a configured attribute is filled with its
+// default instead of being rejected. Attributes without a default stay
+// mandatory. This is the explicit, opt-in replacement for the silent
+// zero-filling the wire protocol performed before publish events required
+// every attribute.
+func WithDefaults(byAttr map[string]float64) Option {
+	return func(o *options) error {
+		o.defaultVals = byAttr
 		return nil
 	}
 }
@@ -281,8 +305,17 @@ func parseValueMeasure(name string) (core.ValueMeasure, error) {
 
 // Service is the public face of one GENAS broker instance.
 type Service struct {
-	sch *schema.Schema
-	brk *broker.Broker
+	sch      *schema.Schema
+	brk      *broker.Broker
+	defaults *event.Defaults
+}
+
+// The wire server and the experiment harness live inside this module and
+// need the underlying broker; external callers must not. The bridge is an
+// internal package, so installing it here keeps the public surface sealed.
+func init() {
+	hook.BrokerOf = func(service any) *broker.Broker { return service.(*Service).brk }
+	hook.DefaultsOf = func(service any) *event.Defaults { return service.(*Service).defaults }
 }
 
 // NewService creates a local event notification service over the schema.
@@ -320,7 +353,16 @@ func NewService(sch *Schema, opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Service{sch: sch, brk: b}, nil
+	svc := &Service{sch: sch, brk: b}
+	if o.defaultVals != nil {
+		d, err := event.NewDefaults(sch, o.defaultVals)
+		if err != nil {
+			b.Close()
+			return nil, err
+		}
+		svc.defaults = d
+	}
+	return svc, nil
 }
 
 // Schema returns the service schema.
@@ -328,28 +370,44 @@ func (s *Service) Schema() *Schema { return s.sch }
 
 // Subscribe parses a profile-language expression and registers it:
 //
-//	svc.Subscribe("alarm", "profile(temperature >= 35; humidity >= 90)")
-func (s *Service) Subscribe(id, profileExpr string) (*Subscription, error) {
+//	svc.Subscribe("alarm", "profile(temperature >= 35; humidity >= 90)",
+//		genas.SubBuffer(256), genas.SubPriority(2))
+//
+// The profile language is one of two equivalent front-ends; see NewProfile
+// for the typed builder.
+func (s *Service) Subscribe(id, profileExpr string, opts ...SubOption) (*Subscription, error) {
 	p, err := predicate.Parse(s.sch, predicate.ID(id), profileExpr)
 	if err != nil {
 		return nil, err
 	}
-	return s.brk.Subscribe(p)
+	return s.SubscribeProfile(p, opts...)
 }
 
-// SubscribeWithPriority is Subscribe with a user-centric priority weight.
-func (s *Service) SubscribeWithPriority(id, profileExpr string, priority float64) (*Subscription, error) {
-	p, err := predicate.Parse(s.sch, predicate.ID(id), profileExpr)
+// SubscribeProfile registers an already-built profile (from NewProfile's
+// builder or ParseProfile).
+func (s *Service) SubscribeProfile(p *Profile, opts ...SubOption) (*Subscription, error) {
+	var o subOptions
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.priority != 0 {
+		// Register a copy rather than mutating the caller's profile: the
+		// same *Profile may be shared with (or already live in) another
+		// service whose engine reads Priority during restructuring. The
+		// predicate slice is immutable after construction, so a shallow
+		// copy suffices.
+		clone := *p
+		clone.Priority = o.priority
+		p = &clone
+	}
+	sub, err := s.brk.SubscribeWith(p, o.broker)
 	if err != nil {
 		return nil, err
 	}
-	p.Priority = priority
-	return s.brk.Subscribe(p)
-}
-
-// SubscribeProfile registers an already-built profile.
-func (s *Service) SubscribeProfile(p *Profile) (*Subscription, error) {
-	return s.brk.Subscribe(p)
+	id := p.ID
+	return newSubscription(sub, func() error { return s.brk.Unsubscribe(id) }, &o), nil
 }
 
 // Unsubscribe removes a subscription.
@@ -357,20 +415,65 @@ func (s *Service) Unsubscribe(id string) error {
 	return s.brk.Unsubscribe(predicate.ID(id))
 }
 
-// Event builds a validated event from attribute name → value; every schema
-// attribute must be present.
+// Event builds a validated event from attribute name → value. Every schema
+// attribute must be present unless WithDefaults covers the omission.
 func (s *Service) Event(values map[string]float64) (Event, error) {
-	return event.FromMap(s.sch, values)
+	return event.FromMapWith(s.sch, values, s.defaults)
 }
 
 // Publish posts an event given as attribute name → value and returns the
-// number of matched profiles.
+// number of matched profiles. The map is convenient but allocates; use
+// PublishValues or an EventBuilder (Service.NewEvent) on hot paths.
 func (s *Service) Publish(values map[string]float64) (int, error) {
 	ev, err := s.Event(values)
 	if err != nil {
 		return 0, err
 	}
 	return s.brk.Publish(ev)
+}
+
+// PublishCtx is Publish with a cancellation context: it refuses to start on
+// a done context, and delivery blocked on a SubBlocking subscriber aborts
+// (counting a drop) when the context is canceled.
+func (s *Service) PublishCtx(ctx context.Context, values map[string]float64) (int, error) {
+	ev, err := s.Event(values)
+	if err != nil {
+		return 0, err
+	}
+	return s.brk.PublishCtx(ctx, ev)
+}
+
+// PublishValues posts one event given positionally in schema order — the
+// zero-allocation publish path: no map is built, the slice is only read
+// during matching, and the event value materializes only when at least one
+// profile matched. WithDefaults does not apply (every value is present by
+// construction).
+func (s *Service) PublishValues(vals ...float64) (int, error) {
+	if err := s.validateVals(vals); err != nil {
+		return 0, err
+	}
+	return s.brk.PublishValues(vals)
+}
+
+// PublishValuesCtx is PublishValues with a cancellation context (see
+// PublishCtx).
+func (s *Service) PublishValuesCtx(ctx context.Context, vals ...float64) (int, error) {
+	if err := s.validateVals(vals); err != nil {
+		return 0, err
+	}
+	return s.brk.PublishValuesCtx(ctx, vals)
+}
+
+func (s *Service) validateVals(vals []float64) error {
+	if len(vals) != s.sch.N() {
+		return fmt.Errorf("%w: got %d values for %d attributes", event.ErrArity, len(vals), s.sch.N())
+	}
+	for i := range vals {
+		if err := s.sch.Validate(i, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PublishEvent posts a prebuilt event.
@@ -384,6 +487,13 @@ func (s *Service) PublishEvent(ev Event) (int, error) { return s.brk.Publish(ev)
 // preferred ingestion path for high-rate publishers.
 func (s *Service) PublishBatch(evs []Event) ([]int, error) {
 	return s.brk.PublishBatch(evs)
+}
+
+// PublishBatchCtx is PublishBatch with a cancellation context (see
+// PublishCtx). Events already matched stay matched — the batch is not
+// transactional.
+func (s *Service) PublishBatchCtx(ctx context.Context, evs []Event) ([]int, error) {
+	return s.brk.PublishBatchCtx(ctx, evs)
 }
 
 // ParseEvent reads the paper's event notation ("event(temperature=30; …)").
@@ -405,8 +515,36 @@ func (s *Service) Quenched(attr string, lo, hi float64) (bool, error) {
 	return s.brk.Quenched(i, schema.Closed(lo, hi)), nil
 }
 
-// Stats returns broker counters.
-func (s *Service) Stats() Stats { return s.brk.Stats() }
+// Stats is the service counter snapshot.
+type Stats struct {
+	// Subscriptions is the number of live subscriptions.
+	Subscriptions int
+	// Published counts posted events, Delivered notifications that reached a
+	// subscriber buffer, Dropped notifications discarded for slow consumers.
+	Published, Delivered, Dropped uint64
+	// FilterEvents and FilterOps carry the engine's operation accounting
+	// (the paper's comparisons-per-event metric); MeanOps is their ratio.
+	FilterEvents, FilterOps uint64
+	MeanOps                 float64
+	// Restructures counts adaptive tree restructures (0 without
+	// WithAdaptive).
+	Restructures int
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() Stats {
+	bs := s.brk.Stats()
+	return Stats{
+		Subscriptions: bs.Subscriptions,
+		Published:     bs.Published,
+		Delivered:     bs.Delivered,
+		Dropped:       bs.Dropped,
+		FilterEvents:  bs.FilterEvents,
+		FilterOps:     bs.FilterOps,
+		MeanOps:       bs.MeanOps,
+		Restructures:  s.Restructures(),
+	}
+}
 
 // Restructures reports how many adaptive restructures have happened (0
 // without WithAdaptive).
@@ -427,21 +565,8 @@ func (s *Service) ExpectedOpsPerEvent() (float64, error) {
 	return a.TotalOps, nil
 }
 
-// Broker exposes the underlying broker for advanced integration (wire
-// server, experiments).
-func (s *Service) Broker() *broker.Broker { return s.brk }
-
 // Close shuts the service down; all subscription channels are closed.
 func (s *Service) Close() { s.brk.Close() }
-
-// --- Distributed overlay facade -------------------------------------------------
-
-// NewNetwork creates a distributed broker overlay over the schema. With
-// covering enabled, profiles covered by already-propagated profiles are not
-// re-propagated (Siena-style optimization).
-func NewNetwork(sch *Schema, covering bool) *Network {
-	return routing.NewNetwork(sch, routing.Options{Covering: covering})
-}
 
 // Now returns the current time; exposed so examples produce deterministic
 // output under `go test` by overriding it.

@@ -200,8 +200,12 @@ func TestServicePriority(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer svc.Close()
-	if _, err := svc.SubscribeWithPriority("vip", "profile(temperature >= 40)", 10); err != nil {
+	sub, err := svc.Subscribe("vip", "profile(temperature >= 40)", SubPriority(10))
+	if err != nil {
 		t.Fatal(err)
+	}
+	if w := sub.Profile().Weight(); w != 10 {
+		t.Errorf("priority weight = %g", w)
 	}
 	matched, err := svc.Publish(map[string]float64{"temperature": 45, "humidity": 1, "radiation": 1})
 	if err != nil || matched != 1 {
@@ -214,7 +218,7 @@ func TestNetworkFacade(t *testing.T) {
 	nw := NewNetwork(sch, true)
 	defer nw.Close()
 	for _, n := range []string{"edge", "core"} {
-		if _, err := nw.AddNode(n); err != nil {
+		if err := nw.AddNode(n); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -15,6 +15,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,16 +27,19 @@ import (
 	"genas/internal/event"
 	"genas/internal/predicate"
 	"genas/internal/schema"
+	"genas/internal/sentinel"
 	"genas/internal/stats"
 )
 
-// Errors returned by the broker.
+// Errors returned by the broker. Each wraps the canonical sentinel of the
+// public surface, so errors.Is against either the broker value or the
+// re-exported genas sentinel succeeds.
 var (
-	ErrClosed        = errors.New("broker: closed")
-	ErrUnknownSub    = errors.New("broker: unknown subscription")
-	ErrDuplicateSub  = errors.New("broker: duplicate subscription id")
+	ErrClosed        = fmt.Errorf("broker: %w", sentinel.ErrClosed)
+	ErrUnknownSub    = fmt.Errorf("broker: %w", sentinel.ErrUnknownID)
+	ErrDuplicateSub  = fmt.Errorf("broker: %w", sentinel.ErrDuplicateID)
 	ErrNilProfile    = errors.New("broker: nil profile")
-	ErrBadBufferSize = errors.New("broker: buffer size must be positive")
+	ErrBadBufferSize = fmt.Errorf("broker: %w", sentinel.ErrBadBuffer)
 )
 
 // Notification is delivered to a subscriber whose profile matched an event.
@@ -64,20 +68,63 @@ func (sc *sharedChan) release() {
 	}
 }
 
+// DropPolicy selects what happens to a notification when the subscriber's
+// buffer is full.
+type DropPolicy int
+
+// Drop policies.
+const (
+	// DropNewest discards the incoming notification (the default: slow
+	// subscribers never block the publish path and keep their oldest state).
+	DropNewest DropPolicy = iota
+	// DropOldest evicts the oldest buffered notification to make room, so a
+	// lagging subscriber sees the freshest events.
+	DropOldest
+	// Block stalls the publisher until the subscriber drains the buffer (or
+	// the subscription ends, or the publisher's context is canceled). Opt-in
+	// backpressure: a subscriber that never reads stalls every publisher.
+	Block
+)
+
+// SubOptions configure one subscription.
+type SubOptions struct {
+	// Buffer is the notification channel buffer (0 selects the broker
+	// default, negative is invalid).
+	Buffer int
+	// Policy is the full-buffer drop policy.
+	Policy DropPolicy
+}
+
 // Subscription is one subscriber registration. Notifications arrive on C();
-// when the subscriber lags behind the buffer the broker drops and counts
-// instead of blocking the publish path. Delivery tallies live on the
-// subscription itself (two uncontended atomics), realizing the paper's
-// per-profile statistic objects without putting a mutex or a map on the
-// publish path; the broker folds them into its counter store when the
-// subscription ends.
+// when the subscriber lags behind the buffer the drop policy decides between
+// dropping the newest, evicting the oldest, or blocking the publisher.
+// Delivery tallies live on the subscription itself (two uncontended atomics),
+// realizing the paper's per-profile statistic objects without putting a mutex
+// or a map on the publish path; the broker folds them into its counter store
+// when the subscription ends.
 type Subscription struct {
-	id        predicate.ID
-	profile   *predicate.Profile
-	shared    *sharedChan
+	id      predicate.ID
+	profile *predicate.Profile
+	shared  *sharedChan
+	policy  DropPolicy
+	// done closes when the subscription ends (end()), before the channel
+	// itself closes: a Block-policy delivery blocked on a full buffer
+	// watches it, so ending the subscription always releases its blocked
+	// publishers promptly.
+	done chan struct{}
+	// sendMu fences Block-policy sends (read side) against the channel
+	// close (write side). Block sends happen outside the delivery shard's
+	// lock — a publisher stalled on one slow Block subscriber must not hold
+	// a lock that registration operations or other deliveries need.
+	sendMu    sync.RWMutex
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 	closed    atomic.Bool
+	// foldedDelivered/foldedDropped mark how much of the tallies the shard's
+	// retired store has absorbed; written only from the subscription's
+	// single Unsubscribe/Close invocation (see deliveryShard.retire).
+	foldedDelivered uint64
+	foldedDropped   uint64
 }
 
 // ID returns the subscription id.
@@ -91,8 +138,11 @@ func (s *Subscription) Profile() *predicate.Profile { return s.profile }
 func (s *Subscription) C() <-chan Notification { return s.shared.ch }
 
 // Dropped returns how many notifications were discarded because the
-// subscriber was slow.
+// subscriber was slow (including DropOldest evictions).
 func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Delivered returns how many notifications reached the subscriber's buffer.
+func (s *Subscription) Delivered() uint64 { return s.delivered.Load() }
 
 // Options configure a Broker.
 type Options struct {
@@ -127,13 +177,21 @@ type deliveryShard struct {
 }
 
 // retire folds a dead subscription's per-profile tallies into the shard's
-// counter store (the shard aggregates already include them).
+// counter store (the shard aggregates already include them). Delta-aware: it
+// runs twice per subscription — once under the shard write lock when the
+// subscription leaves the map, and once after the Block-send fence
+// (retireChan), because a Block-policy delivery already parked in its select
+// may record its outcome after the first fold. Both calls come from the same
+// Unsubscribe/Close invocation (serialized by regMu), so the folded marks
+// need no locking of their own.
 func (d *deliveryShard) retire(sub *Subscription) {
-	if n := sub.delivered.Load(); n > 0 {
-		d.retired.Add("delivered:"+string(sub.id), n)
+	if n := sub.delivered.Load(); n > sub.foldedDelivered {
+		d.retired.Add("delivered:"+string(sub.id), n-sub.foldedDelivered)
+		sub.foldedDelivered = n
 	}
-	if n := sub.dropped.Load(); n > 0 {
-		d.retired.Add("dropped:"+string(sub.id), n)
+	if n := sub.dropped.Load(); n > sub.foldedDropped {
+		d.retired.Add("dropped:"+string(sub.id), n-sub.foldedDropped)
+		sub.foldedDropped = n
 	}
 }
 
@@ -218,15 +276,26 @@ func (b *Broker) shardFor(id predicate.ID) *deliveryShard {
 // Subscribe registers a profile and returns its subscription. The profile ID
 // must be unique within the broker.
 func (b *Broker) Subscribe(p *predicate.Profile) (*Subscription, error) {
-	return b.SubscribeBuffered(p, b.defaultBuffer)
+	return b.SubscribeWith(p, SubOptions{})
 }
 
 // SubscribeBuffered is Subscribe with an explicit channel buffer size.
 func (b *Broker) SubscribeBuffered(p *predicate.Profile, buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		return nil, ErrBadBufferSize
+	}
+	return b.SubscribeWith(p, SubOptions{Buffer: buffer})
+}
+
+// SubscribeWith is Subscribe with explicit buffer and drop-policy options.
+func (b *Broker) SubscribeWith(p *predicate.Profile, o SubOptions) (*Subscription, error) {
 	if p == nil {
 		return nil, ErrNilProfile
 	}
-	if buffer <= 0 {
+	if o.Buffer == 0 {
+		o.Buffer = b.defaultBuffer
+	}
+	if o.Buffer < 0 {
 		return nil, ErrBadBufferSize
 	}
 	b.regMu.Lock()
@@ -241,9 +310,9 @@ func (b *Broker) SubscribeBuffered(p *predicate.Profile, buffer int) (*Subscript
 	if dup {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateSub, p.ID)
 	}
-	sc := &sharedChan{ch: make(chan Notification, buffer)}
+	sc := &sharedChan{ch: make(chan Notification, o.Buffer)}
 	sc.refs.Store(1)
-	sub := &Subscription{id: p.ID, profile: p, shared: sc}
+	sub := &Subscription{id: p.ID, profile: p, shared: sc, policy: o.Policy, done: make(chan struct{})}
 	// Insert into the delivery map before the profile becomes matchable: the
 	// reverse order would let a concurrent Publish match the profile, miss
 	// it in the map and silently lose the notification.
@@ -326,12 +395,12 @@ func (b *Broker) SubscribeGroup(buffer int, profiles ...*predicate.Profile) (*Gr
 			shard.mu.Unlock()
 			_ = b.filter.RemoveProfile(id)
 			if sub != nil {
-				sub.closed.Store(true)
+				sub.end()
 			}
 		}
 	}
 	for _, p := range profiles {
-		sub := &Subscription{id: p.ID, profile: p, shared: sc}
+		sub := &Subscription{id: p.ID, profile: p, shared: sc, done: make(chan struct{})}
 		shard := b.shardFor(p.ID)
 		// Delivery map first, then the filter — see SubscribeBuffered.
 		shard.mu.Lock()
@@ -351,33 +420,78 @@ func (b *Broker) SubscribeGroup(buffer int, profiles ...*predicate.Profile) (*Gr
 	return g, nil
 }
 
+// end marks the subscription closed and releases any Block-policy delivery
+// waiting on its full buffer. Idempotent.
+func (s *Subscription) end() {
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.done)
+	}
+}
+
+// retireChan closes the subscription's channel reference once no send can
+// touch it anymore, then folds any tallies a late Block-policy send recorded
+// after the first retire. Callers must have removed the subscription from
+// its delivery shard first (under the shard write lock, which waits out the
+// non-blocking sends) and ended it (which releases Block-policy sends); the
+// sendMu write acquisition then only waits for those sends — which record
+// their per-subscription tallies under the read side — to finish.
+func (s *Subscription) retireChan(shard *deliveryShard) {
+	s.sendMu.Lock()
+	s.shared.release()
+	s.sendMu.Unlock()
+	shard.retire(s)
+}
+
 // Unsubscribe removes a subscription and closes its channel.
 func (b *Broker) Unsubscribe(id predicate.ID) error {
 	b.regMu.Lock()
 	defer b.regMu.Unlock()
 	shard := b.shardFor(id)
-	shard.mu.Lock()
+	shard.mu.RLock()
 	sub, ok := shard.subs[id]
-	if ok {
-		delete(shard.subs, id)
-		sub.closed.Store(true)
-		// Close under the shard write lock: in-flight deliveries hold the
-		// read lock across their channel send.
-		sub.shared.release()
-		shard.retire(sub)
-	}
-	shard.mu.Unlock()
+	shard.mu.RUnlock()
 	if !ok {
+		if b.closed.Load() {
+			return ErrClosed
+		}
 		return fmt.Errorf("%w: %s", ErrUnknownSub, id)
 	}
+	// Release blocked publishers before anything else; regMu serializes all
+	// registration changes, so the map cannot change between the lookup
+	// above and the removal below.
+	sub.end()
+	shard.mu.Lock()
+	delete(shard.subs, id)
+	shard.retire(sub)
+	shard.mu.Unlock()
+	// Close outside the shard lock: after the write section above no new
+	// delivery can find the subscription, in-flight non-blocking sends
+	// completed before the write lock was granted, and in-flight Block
+	// sends are fenced by sendMu inside retireChan.
+	sub.retireChan(shard)
 	return b.filter.RemoveProfile(id)
 }
 
 // Publish filters the event and delivers notifications to every matched
-// subscriber. It returns the number of matched profiles. Slow subscribers
-// never block: over-full buffers drop (counted per subscription and
-// broker-wide).
+// subscriber. It returns the number of matched profiles. Subscribers with the
+// default DropNewest policy never block the publish path: over-full buffers
+// drop (counted per subscription and broker-wide); Block-policy subscribers
+// apply backpressure.
 func (b *Broker) Publish(ev event.Event) (int, error) {
+	return b.publish(ev, nil)
+}
+
+// PublishCtx is Publish with a cancellation context: it refuses to start on a
+// done context, and delivery blocked on a Block-policy subscriber aborts
+// (counting a drop) when the context is canceled.
+func (b *Broker) PublishCtx(ctx context.Context, ev event.Event) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return b.publish(ev, ctx.Done())
+}
+
+func (b *Broker) publish(ev event.Event, cancel <-chan struct{}) (int, error) {
 	if len(ev.Vals) != b.schema.N() {
 		return 0, fmt.Errorf("%w: got %d values for %d attributes",
 			event.ErrArity, len(ev.Vals), b.schema.N())
@@ -400,7 +514,54 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	b.deliver(ev, ids, time.Now())
+	b.deliver(ev, ids, time.Now(), cancel)
+	return len(ids), nil
+}
+
+// PublishValues filters one positionally-encoded event without building an
+// event value up front: vals is only read during matching, and an event (with
+// its own copy of the values) is materialized only when at least one profile
+// matched. The caller may reuse the slice immediately after the call, so a
+// steady-state publisher allocates nothing for the non-matching events — the
+// overwhelming majority under the paper's workloads.
+func (b *Broker) PublishValues(vals []float64) (int, error) {
+	return b.publishValues(vals, nil)
+}
+
+// PublishValuesCtx is PublishValues with a cancellation context (see
+// PublishCtx).
+func (b *Broker) PublishValuesCtx(ctx context.Context, vals []float64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return b.publishValues(vals, ctx.Done())
+}
+
+func (b *Broker) publishValues(vals []float64, cancel <-chan struct{}) (int, error) {
+	if len(vals) != b.schema.N() {
+		return 0, fmt.Errorf("%w: got %d values for %d attributes",
+			event.ErrArity, len(vals), b.schema.N())
+	}
+	if b.closed.Load() {
+		return 0, ErrClosed
+	}
+
+	seq := b.seq.Add(1)
+	b.published.Add(1)
+
+	if b.adapt != nil {
+		b.adapt.Observe(vals)
+	}
+
+	ids, _, err := b.filter.Match(vals)
+	if err != nil {
+		return 0, err
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	ev := event.Event{Vals: append([]float64(nil), vals...), Time: time.Now(), Seq: seq}
+	b.deliver(ev, ids, ev.Time, cancel)
 	return len(ids), nil
 }
 
@@ -412,6 +573,21 @@ func (b *Broker) Publish(ev event.Event) (int, error) {
 // across the whole slice; events are matched concurrently by the engine's
 // batch path.
 func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
+	return b.publishBatch(evs, nil)
+}
+
+// PublishBatchCtx is PublishBatch with a cancellation context: it refuses to
+// start on a done context, and deliveries blocked on Block-policy subscribers
+// abort (counting drops) when the context is canceled. Events already matched
+// stay matched — the batch is not transactional.
+func (b *Broker) PublishBatchCtx(ctx context.Context, evs []event.Event) ([]int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.publishBatch(evs, ctx.Done())
+}
+
+func (b *Broker) publishBatch(evs []event.Event, cancel <-chan struct{}) ([]int, error) {
 	if len(evs) == 0 {
 		return nil, nil
 	}
@@ -454,19 +630,33 @@ func (b *Broker) PublishBatch(evs []event.Event) ([]int, error) {
 	delivered := time.Now()
 	for i, r := range results {
 		counts[i] = len(r.IDs)
-		b.deliver(batch[i], r.IDs, delivered)
+		b.deliver(batch[i], r.IDs, delivered, cancel)
 	}
 	return counts, nil
 }
 
+// blockedSend is one Block-policy delivery deferred to after the shard locks
+// are released.
+type blockedSend struct {
+	shard *deliveryShard
+	sub   *Subscription
+	n     Notification
+}
+
 // deliver pushes one event's notifications to the matched subscribers,
-// locking only the delivery shards the matched ids live on. The send happens
-// under the shard read lock: channel close runs under the shard write lock
-// (Unsubscribe, Close), so a send can never hit a closing channel. Matched
+// locking only the delivery shards the matched ids live on. Non-blocking
+// sends (DropNewest, DropOldest) happen under the shard read lock: channel
+// close waits for the shard write lock first, so such a send can never hit a
+// closing channel. Block-policy sends are collected and performed after all
+// shard locks are released — a publisher stalled on one slow Block
+// subscriber must not wedge registration operations or deliveries to other
+// subscribers — fenced against close by the subscription's sendMu. Matched
 // ids arrive grouped by shard (the sharded engine merges in shard order), so
 // the lock is held across each run of same-shard ids rather than per id.
-func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time) {
+// cancel (possibly nil) aborts Block-policy sends.
+func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time, cancel <-chan struct{}) {
 	var shard *deliveryShard
+	var blocked []blockedSend // nil unless Block-policy subscribers matched
 	for _, id := range ids {
 		if next := b.shardFor(id); next != shard {
 			if shard != nil {
@@ -480,17 +670,90 @@ func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time) {
 			continue
 		}
 		n := Notification{Event: ev, Profile: id, Delivered: now}
-		select {
-		case sub.shared.ch <- n:
+		if sub.policy == Block {
+			blocked = append(blocked, blockedSend{shard: shard, sub: sub, n: n})
+			continue
+		}
+		sent, evicted := sub.send(n)
+		if sent {
 			sub.delivered.Add(1)
 			shard.delivered.Add(1)
-		default:
+		} else {
 			sub.dropped.Add(1)
 			shard.dropped.Add(1)
+		}
+		if evicted > 0 {
+			sub.dropped.Add(uint64(evicted))
+			shard.dropped.Add(uint64(evicted))
 		}
 	}
 	if shard != nil {
 		shard.mu.RUnlock()
+	}
+	for _, bs := range blocked {
+		if bs.sub.blockingSend(bs.n, cancel) {
+			bs.shard.delivered.Add(1)
+		} else {
+			bs.shard.dropped.Add(1)
+		}
+	}
+}
+
+// send places n on the subscription channel under its non-blocking drop
+// policy, reporting whether the notification reached the buffer and how many
+// older notifications were evicted to make room. Runs with the shard read
+// lock held, so the channel cannot close mid-send.
+func (s *Subscription) send(n Notification) (sent bool, evicted int) {
+	if s.policy == DropOldest {
+		for {
+			select {
+			case s.shared.ch <- n:
+				return true, evicted
+			default:
+			}
+			select {
+			case <-s.shared.ch:
+				evicted++
+			default:
+				// A consumer drained the buffer between the two selects;
+				// retry the send.
+			}
+		}
+	}
+	select {
+	case s.shared.ch <- n: // DropNewest
+		return true, 0
+	default:
+		return false, 0
+	}
+}
+
+// blockingSend performs one Block-policy delivery outside the shard locks:
+// it waits until buffer space frees, the subscription ends (done closes
+// before the channel does), or the publisher's cancel channel fires (nil
+// means no cancellation). sendMu (read side) fences the channel against
+// retireChan's close — if the closed re-check reads false, the close cannot
+// start until this send returns — and the per-subscription tallies are
+// recorded under the same fence, so retireChan's final fold observes them.
+func (s *Subscription) blockingSend(n Notification, cancel <-chan struct{}) bool {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed.Load() {
+		// The subscription may be fully retired already (its final fold can
+		// precede this read), so only the shard-wide drop aggregate counts
+		// this outcome — the caller's else-branch handles it.
+		return false
+	}
+	select {
+	case s.shared.ch <- n:
+		s.delivered.Add(1)
+		return true
+	case <-s.done:
+		s.dropped.Add(1)
+		return false
+	case <-cancel:
+		s.dropped.Add(1)
+		return false
 	}
 }
 
@@ -601,13 +864,25 @@ func (b *Broker) Close() {
 		return
 	}
 	for _, shard := range b.shards {
+		// End every subscription first so blocked Block-policy publishers
+		// release; regMu (held) blocks new registrations meanwhile.
+		shard.mu.RLock()
+		ending := make([]*Subscription, 0, len(shard.subs))
+		for _, sub := range shard.subs {
+			ending = append(ending, sub)
+		}
+		shard.mu.RUnlock()
+		for _, sub := range ending {
+			sub.end()
+		}
 		shard.mu.Lock()
 		for id, sub := range shard.subs {
-			sub.closed.Store(true)
-			sub.shared.release()
 			shard.retire(sub)
 			delete(shard.subs, id)
 		}
 		shard.mu.Unlock()
+		for _, sub := range ending {
+			sub.retireChan(shard)
+		}
 	}
 }

@@ -135,6 +135,12 @@ type Engine struct {
 	tree    *tree.Tree
 	dirty   bool
 	account stats.OpAccount
+	// runlock/unlock are the bound unlock method values, captured once at
+	// construction: returning e.mu.RUnlock directly from acquire would
+	// allocate a fresh method-value closure on every match, the single
+	// allocation that kept the publish hot path from being allocation-free.
+	runlock func()
+	unlock  func()
 }
 
 // NewEngine creates an engine over schema s.
@@ -148,11 +154,14 @@ func NewEngine(s *schema.Schema, cfg Config) *Engine {
 	if cfg.Search == 0 {
 		cfg.Search = tree.SearchLinear
 	}
-	return &Engine{
+	e := &Engine{
 		schema: s,
 		cfg:    cfg,
 		byID:   make(map[predicate.ID]int),
 	}
+	e.runlock = e.mu.RUnlock
+	e.unlock = e.mu.Unlock
+	return e
 }
 
 // Schema returns the engine's schema.
@@ -422,7 +431,7 @@ func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
 func (e *Engine) acquire() (*tree.Tree, func(), error) {
 	e.mu.RLock()
 	if !e.dirty && e.tree != nil {
-		return e.tree, e.mu.RUnlock, nil
+		return e.tree, e.runlock, nil
 	}
 	if len(e.dense) == 0 {
 		// Decide emptiness under the read lock: an empty engine (e.g. an
@@ -445,7 +454,7 @@ func (e *Engine) acquire() (*tree.Tree, func(), error) {
 	// tree re-dirtied and paying another rebuild). Single-event traversals
 	// are short, so the write-hold is cheap; long traversals use
 	// acquireShared instead.
-	return e.tree, e.mu.Unlock, nil
+	return e.tree, e.unlock, nil
 }
 
 // acquireShared is acquire for long traversals (whole batches): it prefers
@@ -457,7 +466,7 @@ func (e *Engine) acquireShared() (*tree.Tree, func(), error) {
 	for try := 0; try < 4; try++ {
 		e.mu.RLock()
 		if !e.dirty && e.tree != nil {
-			return e.tree, e.mu.RUnlock, nil
+			return e.tree, e.runlock, nil
 		}
 		if len(e.dense) == 0 {
 			e.mu.RUnlock()

@@ -49,18 +49,66 @@ func New(s *schema.Schema, vals ...float64) (Event, error) {
 // attribute would fabricate data. The service facade and the wire server
 // share this one validation path.
 func FromMap(s *schema.Schema, values map[string]float64) (Event, error) {
+	return FromMapWith(s, values, nil)
+}
+
+// Defaults is an explicit, opt-in fill-in for omitted event attributes: each
+// configured attribute gets the given value when a publisher leaves it out.
+// Attributes without a default remain mandatory. Construct once per service;
+// safe for concurrent use (read-only after construction).
+type Defaults struct {
+	vals []float64
+	has  []bool
+}
+
+// NewDefaults validates the per-attribute defaults against the schema.
+func NewDefaults(s *schema.Schema, byName map[string]float64) (*Defaults, error) {
+	d := &Defaults{vals: make([]float64, s.N()), has: make([]bool, s.N())}
+	for name, v := range byName {
+		i, err := s.Index(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(i, v); err != nil {
+			return nil, fmt.Errorf("default for %s: %w", name, err)
+		}
+		d.vals[i] = v
+		d.has[i] = true
+	}
+	return d, nil
+}
+
+// Fill writes the default value of every attribute that is unseen yet has a
+// default, marking it seen, and reports how many attributes remain unseen.
+// A nil receiver fills nothing.
+func (d *Defaults) Fill(vals []float64, seen []bool) (missing int) {
+	for i := range seen {
+		if !seen[i] && d != nil && d.has[i] {
+			vals[i] = d.vals[i]
+			seen[i] = true
+		}
+		if !seen[i] {
+			missing++
+		}
+	}
+	return missing
+}
+
+// FromMapWith is FromMap with optional defaults for omitted attributes
+// (nil d means every attribute is mandatory).
+func FromMapWith(s *schema.Schema, values map[string]float64, d *Defaults) (Event, error) {
 	vals := make([]float64, s.N())
-	seen := 0
+	seen := make([]bool, s.N())
 	for name, v := range values {
 		i, err := s.Index(name)
 		if err != nil {
 			return Event{}, err
 		}
 		vals[i] = v
-		seen++
+		seen[i] = true
 	}
-	if seen != s.N() {
-		return Event{}, fmt.Errorf("%w: event specifies %d of %d attributes", ErrArity, seen, s.N())
+	if missing := d.Fill(vals, seen); missing > 0 {
+		return Event{}, fmt.Errorf("%w: event specifies %d of %d attributes", ErrArity, s.N()-missing, s.N())
 	}
 	return New(s, vals...)
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"genas/internal/sentinel"
 )
 
 // Kind discriminates domain families.
@@ -40,13 +42,15 @@ func (k Kind) String() string {
 	}
 }
 
-// Errors reported by schema construction and validation.
+// Errors reported by schema construction and validation. The lookup and
+// domain errors wrap the canonical public sentinels, so errors.Is against
+// the re-exported genas values succeeds wherever these surface.
 var (
 	ErrEmptySchema      = errors.New("schema: no attributes")
 	ErrDuplicateAttr    = errors.New("schema: duplicate attribute name")
-	ErrUnknownAttribute = errors.New("schema: unknown attribute")
+	ErrUnknownAttribute = fmt.Errorf("schema: %w", sentinel.ErrUnknownAttribute)
 	ErrBadDomain        = errors.New("schema: invalid domain")
-	ErrValueOutOfDomain = errors.New("schema: value outside attribute domain")
+	ErrValueOutOfDomain = fmt.Errorf("schema: %w", sentinel.ErrOutOfDomain)
 )
 
 // Domain describes the value set D_j of one attribute.

@@ -1,0 +1,30 @@
+// Package sentinel holds the canonical error values of the public genas v1
+// surface. It is a leaf package so that both the public facade and the
+// internal machinery (broker, schema, event) can wrap the same values:
+// errors.Is(err, genas.ErrBadBuffer) then holds no matter which layer an
+// error originated in, and no internal error value ever needs to leak
+// through the facade.
+package sentinel
+
+import "errors"
+
+// Canonical v1 sentinels. Package genas re-exports these values under the
+// same names (minus the package qualifier); internal packages wrap them into
+// their own, more specific error values.
+var (
+	// ErrUnknownAttribute reports an attribute name or index that is not part
+	// of the service schema.
+	ErrUnknownAttribute = errors.New("genas: unknown attribute")
+	// ErrOutOfDomain reports an event or predicate value outside its
+	// attribute's domain.
+	ErrOutOfDomain = errors.New("genas: value outside attribute domain")
+	// ErrDuplicateID reports a subscription id that is already registered.
+	ErrDuplicateID = errors.New("genas: duplicate subscription id")
+	// ErrUnknownID reports a subscription id that is not registered.
+	ErrUnknownID = errors.New("genas: unknown subscription id")
+	// ErrClosed reports an operation on a closed service, broker or
+	// subscription.
+	ErrClosed = errors.New("genas: closed")
+	// ErrBadBuffer reports a non-positive notification buffer size.
+	ErrBadBuffer = errors.New("genas: buffer size must be positive")
+)

@@ -19,9 +19,10 @@ import (
 // connection owns its subscriptions: when the connection drops, its profiles
 // are removed from the filter tree.
 type Server struct {
-	brk *broker.Broker
-	ln  net.Listener
-	log *log.Logger
+	brk      *broker.Broker
+	defaults *event.Defaults
+	ln       net.Listener
+	log      *log.Logger
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -36,6 +37,11 @@ func NewServer(brk *broker.Broker, logger *log.Logger) *Server {
 	}
 	return &Server{brk: brk, log: logger, conns: make(map[net.Conn]struct{})}
 }
+
+// SetDefaults installs opt-in fill-ins for event attributes omitted from
+// publish and publish_batch frames (nil restores the strict default: every
+// attribute required). Call before Serve.
+func (s *Server) SetDefaults(d *event.Defaults) { s.defaults = d }
 
 type discard struct{}
 
@@ -230,7 +236,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
 
 	case OpPublish:
-		ev, err := event.FromMap(sch, req.Event)
+		ev, err := event.FromMapWith(sch, req.Event, s.defaults)
 		if err != nil {
 			return err
 		}
@@ -246,7 +252,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		}
 		evs := make([]event.Event, len(req.Events))
 		for i, payload := range req.Events {
-			ev, err := event.FromMap(sch, payload)
+			ev, err := event.FromMapWith(sch, payload, s.defaults)
 			if err != nil {
 				return fmt.Errorf("event %d: %w", i, err)
 			}

@@ -1,0 +1,184 @@
+package genas
+
+import (
+	"fmt"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/sentinel"
+)
+
+// Cond is one attribute condition of a typed profile. Construct conditions
+// with the package-level constructors (GE, Between, In, Is, …) and attach
+// them with ProfileBuilder.Where. A Cond compiles to exactly the predicate
+// the profile-language parser would produce for the equivalent expression,
+// so builder-built and parser-built profiles are interchangeable.
+type Cond struct {
+	apply func(attr int, dom schema.Domain) (predicate.Predicate, error)
+}
+
+func scalarCond(op predicate.Op, v float64) Cond {
+	return Cond{apply: func(attr int, _ schema.Domain) (predicate.Predicate, error) {
+		return predicate.NewComparison(attr, op, v)
+	}}
+}
+
+// Eq matches values equal to v.
+func Eq(v float64) Cond { return scalarCond(predicate.OpEq, v) }
+
+// Ne matches values different from v.
+func Ne(v float64) Cond { return scalarCond(predicate.OpNe, v) }
+
+// LT matches values below v.
+func LT(v float64) Cond { return scalarCond(predicate.OpLt, v) }
+
+// LE matches values at most v.
+func LE(v float64) Cond { return scalarCond(predicate.OpLe, v) }
+
+// GT matches values above v.
+func GT(v float64) Cond { return scalarCond(predicate.OpGt, v) }
+
+// GE matches values at least v.
+func GE(v float64) Cond { return scalarCond(predicate.OpGe, v) }
+
+// Between matches values in the inclusive range [lo, hi].
+func Between(lo, hi float64) Cond {
+	return Cond{apply: func(attr int, _ schema.Domain) (predicate.Predicate, error) {
+		return predicate.NewRange(attr, lo, hi)
+	}}
+}
+
+// In matches values contained in the given set.
+func In(vs ...float64) Cond {
+	return Cond{apply: func(attr int, _ schema.Domain) (predicate.Predicate, error) {
+		return predicate.NewIn(attr, vs...)
+	}}
+}
+
+// Is matches a categorical attribute equal to the given label.
+func Is(label string) Cond {
+	return Cond{apply: func(attr int, dom schema.Domain) (predicate.Predicate, error) {
+		c, err := labelCode(dom, label)
+		if err != nil {
+			return predicate.Predicate{}, err
+		}
+		return predicate.NewComparison(attr, predicate.OpEq, c)
+	}}
+}
+
+// OneOf matches a categorical attribute equal to any of the given labels.
+func OneOf(labels ...string) Cond {
+	return Cond{apply: func(attr int, dom schema.Domain) (predicate.Predicate, error) {
+		vs := make([]float64, len(labels))
+		for i, l := range labels {
+			c, err := labelCode(dom, l)
+			if err != nil {
+				return predicate.Predicate{}, err
+			}
+			vs[i] = c
+		}
+		return predicate.NewIn(attr, vs...)
+	}}
+}
+
+// AnyValue is the explicit don't-care condition ("attr = *" in the profile
+// language). Attributes without a condition are don't-care implicitly; the
+// explicit form exists so rendered profiles round-trip.
+func AnyValue() Cond {
+	return Cond{apply: func(attr int, _ schema.Domain) (predicate.Predicate, error) {
+		return predicate.NewAny(attr), nil
+	}}
+}
+
+func labelCode(dom schema.Domain, label string) (float64, error) {
+	if dom.Kind() != schema.KindCategorical {
+		return 0, fmt.Errorf("genas: label %q on non-categorical domain %s: %w",
+			label, dom, sentinel.ErrOutOfDomain)
+	}
+	c, ok := dom.Code(label)
+	if !ok {
+		return 0, fmt.Errorf("genas: unknown label %q for domain %s: %w",
+			label, dom, sentinel.ErrOutOfDomain)
+	}
+	return float64(c), nil
+}
+
+// ProfileBuilder assembles a conjunctive profile programmatically — the typed
+// front-end to the same predicate form the profile-language parser produces:
+//
+//	p, err := genas.NewProfile("heat-alarm").
+//		Where("temperature", genas.GE(35)).
+//		Where("humidity", genas.Between(80, 100)).
+//		Priority(2).
+//		Build(sch)
+//
+// is identical to parsing
+// "profile(temperature >= 35; humidity in [80,100])" with priority 2.
+type ProfileBuilder struct {
+	id       string
+	priority float64
+	wheres   []builderWhere
+}
+
+type builderWhere struct {
+	attr string
+	cond Cond
+}
+
+// NewProfile starts a profile with the given subscription id.
+func NewProfile(id string) *ProfileBuilder {
+	return &ProfileBuilder{id: id}
+}
+
+// Where adds one attribute condition. At most one condition per attribute;
+// express conjunctions within an attribute as Between or In.
+func (b *ProfileBuilder) Where(attr string, c Cond) *ProfileBuilder {
+	b.wheres = append(b.wheres, builderWhere{attr: attr, cond: c})
+	return b
+}
+
+// Priority sets the user-centric priority weight (higher is more important;
+// zero keeps the default weight 1).
+func (b *ProfileBuilder) Priority(w float64) *ProfileBuilder {
+	b.priority = w
+	return b
+}
+
+// Build compiles the profile against the schema.
+func (b *ProfileBuilder) Build(sch *Schema) (*Profile, error) {
+	if len(b.wheres) == 0 {
+		return nil, fmt.Errorf("genas: profile %s: %w", b.id, predicate.ErrEmptyProfile)
+	}
+	preds := make([]predicate.Predicate, 0, len(b.wheres))
+	for _, w := range b.wheres {
+		if w.cond.apply == nil {
+			return nil, fmt.Errorf("genas: profile %s: empty condition on %s: %w",
+				b.id, w.attr, predicate.ErrBadPredicate)
+		}
+		i, err := sch.Index(w.attr)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := w.cond.apply(i, sch.At(i).Domain)
+		if err != nil {
+			return nil, fmt.Errorf("genas: profile %s, attribute %s: %w", b.id, w.attr, err)
+		}
+		preds = append(preds, pr)
+	}
+	p, err := predicate.New(sch, predicate.ID(b.id), preds...)
+	if err != nil {
+		return nil, err
+	}
+	p.Priority = b.priority
+	return p, nil
+}
+
+// Subscribe builds the profile against the service schema and registers it in
+// one step.
+func (b *ProfileBuilder) Subscribe(s *Service, opts ...SubOption) (*Subscription, error) {
+	p, err := b.Build(s.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return s.SubscribeProfile(p, opts...)
+}

@@ -1,0 +1,224 @@
+package genas
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"genas/internal/predicate"
+)
+
+// builderSchema mixes numeric, integer and categorical attributes so the
+// equivalence property exercises every condition kind.
+func builderSchema(t testing.TB) *Schema {
+	t.Helper()
+	sev, err := NewCategoricalDomain("low", "mid", "high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustSchema(
+		Attr("temperature", MustNumericDomain(-30, 50)),
+		Attr("humidity", MustNumericDomain(0, 100)),
+		Attr("count", MustIntegerDomain(0, 9)),
+		Attr("severity", sev),
+	)
+}
+
+// condCase pairs a builder condition with the profile-language spelling that
+// must compile to the identical predicate.
+type condCase struct {
+	cond Cond
+	expr string
+}
+
+// randCond draws a random condition for the named attribute together with
+// its profile-language equivalent.
+func randCond(rng *rand.Rand, attr string, labels []string) condCase {
+	if labels != nil {
+		// Categorical attribute: label equality, label sets, or don't-care.
+		switch rng.Intn(3) {
+		case 0:
+			l := labels[rng.Intn(len(labels))]
+			return condCase{Is(l), fmt.Sprintf("%s = %s", attr, l)}
+		case 1:
+			a, b := labels[rng.Intn(len(labels))], labels[rng.Intn(len(labels))]
+			return condCase{OneOf(a, b), fmt.Sprintf("%s in {%s,%s}", attr, a, b)}
+		default:
+			return condCase{AnyValue(), attr + " = *"}
+		}
+	}
+	v := -40 + rng.Float64()*120
+	switch rng.Intn(9) {
+	case 0:
+		return condCase{Eq(v), fmt.Sprintf("%s = %g", attr, v)}
+	case 1:
+		return condCase{Ne(v), fmt.Sprintf("%s != %g", attr, v)}
+	case 2:
+		return condCase{LT(v), fmt.Sprintf("%s < %g", attr, v)}
+	case 3:
+		return condCase{LE(v), fmt.Sprintf("%s <= %g", attr, v)}
+	case 4:
+		return condCase{GT(v), fmt.Sprintf("%s > %g", attr, v)}
+	case 5:
+		return condCase{GE(v), fmt.Sprintf("%s >= %g", attr, v)}
+	case 6:
+		hi := v + rng.Float64()*30
+		return condCase{Between(v, hi), fmt.Sprintf("%s in [%g,%g]", attr, v, hi)}
+	case 7:
+		a, b, c := v, v+rng.Float64()*10, v-rng.Float64()*10
+		return condCase{In(a, b, c), fmt.Sprintf("%s in {%g,%g,%g}", attr, a, b, c)}
+	default:
+		return condCase{AnyValue(), attr + " = *"}
+	}
+}
+
+// TestBuilderParserEquivalence is the property test of the tentpole: for
+// randomly drawn profiles, the typed builder and the profile-language parser
+// produce byte-identical Profile values.
+func TestBuilderParserEquivalence(t *testing.T) {
+	sch := builderSchema(t)
+	labels := map[string][]string{"severity": {"low", "mid", "high"}}
+	attrs := []string{"temperature", "humidity", "count", "severity"}
+	rng := rand.New(rand.NewSource(99))
+
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("p%d", i)
+		b := NewProfile(id)
+		var parts []string
+		// A random non-empty attribute subset, in random order.
+		perm := rng.Perm(len(attrs))[:1+rng.Intn(len(attrs))]
+		allAny := true
+		for _, ai := range perm {
+			c := randCond(rng, attrs[ai], labels[attrs[ai]])
+			b.Where(attrs[ai], c.cond)
+			parts = append(parts, c.expr)
+			if !strings.HasSuffix(c.expr, "= *") {
+				allAny = false
+			}
+		}
+		if rng.Intn(3) == 0 {
+			b.Priority(float64(1 + rng.Intn(5)))
+		}
+		expr := "profile(" + strings.Join(parts, "; ") + ")"
+
+		want, errParse := predicate.Parse(sch, predicate.ID(id), expr)
+		got, errBuild := b.Build(sch)
+		if (errParse == nil) != (errBuild == nil) {
+			t.Fatalf("%s: parser err %v, builder err %v", expr, errParse, errBuild)
+		}
+		if errParse != nil {
+			if !allAny {
+				t.Fatalf("%s: unexpected parse failure: %v", expr, errParse)
+			}
+			continue // all-don't-care profiles are rejected by both paths
+		}
+		if b.priority != 0 {
+			want.Priority = b.priority
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s:\n builder %+v\n parser  %+v", expr, got, want)
+		}
+	}
+}
+
+// TestBuilderRenderRoundTrip: a builder-built profile rendered to the
+// profile language and re-parsed is identical to the original.
+func TestBuilderRenderRoundTrip(t *testing.T) {
+	sch := builderSchema(t)
+	labels := map[string][]string{"severity": {"low", "mid", "high"}}
+	attrs := []string{"temperature", "humidity", "count", "severity"}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("r%d", i)
+		b := NewProfile(id)
+		hasReal := false
+		perm := rng.Perm(len(attrs))[:1+rng.Intn(len(attrs))]
+		for _, ai := range perm {
+			c := randCond(rng, attrs[ai], labels[attrs[ai]])
+			b.Where(attrs[ai], c.cond)
+			if !strings.HasSuffix(c.expr, "= *") {
+				hasReal = true
+			}
+		}
+		if !hasReal {
+			continue
+		}
+		p, err := b.Build(sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := predicate.Parse(sch, predicate.ID(id), p.Render(sch))
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", p.Render(sch), err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip:\n built   %+v\n reparsed %+v", p, back)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	sch := builderSchema(t)
+	if _, err := NewProfile("e").Build(sch); err == nil {
+		t.Error("empty profile must fail")
+	}
+	if _, err := NewProfile("e").Where("bogus", GE(1)).Build(sch); !errors.Is(err, ErrUnknownAttribute) {
+		t.Errorf("unknown attribute: %v", err)
+	}
+	if _, err := NewProfile("e").Where("temperature", Is("low")).Build(sch); !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("label on numeric attribute: %v", err)
+	}
+	if _, err := NewProfile("e").Where("severity", Is("catastrophic")).Build(sch); !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("unknown label: %v", err)
+	}
+	if _, err := NewProfile("e").Where("severity", OneOf("low", "nope")).Build(sch); !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("unknown label in set: %v", err)
+	}
+	if _, err := NewProfile("e").Where("temperature", Cond{}).Build(sch); err == nil {
+		t.Error("zero Cond must fail")
+	}
+	if _, err := NewProfile("e").Where("temperature", GE(1)).Where("temperature", LE(2)).Build(sch); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if _, err := NewProfile("e").Where("temperature", Between(5, 1)).Build(sch); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := NewProfile("e").Where("temperature", In()).Build(sch); err == nil {
+		t.Error("empty set must fail")
+	}
+}
+
+// TestBuilderSubscribe: the one-step builder subscription matches like its
+// parsed twin and carries options through.
+func TestBuilderSubscribe(t *testing.T) {
+	svc, err := NewService(builderSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	sub, err := NewProfile("hot").
+		Where("temperature", GE(35)).
+		Where("severity", OneOf("mid", "high")).
+		Priority(3).
+		Subscribe(svc, SubBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Profile().Weight() != 3 {
+		t.Errorf("weight = %g", sub.Profile().Weight())
+	}
+	matched, err := svc.PublishValues(40, 50, 1, 2) // severity=high
+	if err != nil || matched != 1 {
+		t.Fatalf("matched=%d err=%v", matched, err)
+	}
+	n, err := sub.Next(t.Context())
+	if err != nil || n.Profile != "hot" {
+		t.Fatalf("next = %+v, %v", n, err)
+	}
+	if matched, err := svc.PublishValues(40, 50, 1, 0); err != nil || matched != 0 {
+		t.Fatalf("severity=low must not match: %d, %v", matched, err)
+	}
+}

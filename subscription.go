@@ -1,0 +1,151 @@
+package genas
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"genas/internal/broker"
+)
+
+// errHandlerMode reports channel access on a handler-driven subscription.
+var errHandlerMode = errors.New("genas: subscription delivers via SubHandler; C and Next are unavailable")
+
+// SubOption configures one subscription at Subscribe time.
+type SubOption func(*subOptions) error
+
+type subOptions struct {
+	broker   broker.SubOptions
+	priority float64
+	handler  func(Notification)
+}
+
+// SubBuffer sets this subscription's notification buffer (overriding the
+// service default).
+func SubBuffer(n int) SubOption {
+	return func(o *subOptions) error {
+		if n <= 0 {
+			return ErrBadBuffer
+		}
+		o.broker.Buffer = n
+		return nil
+	}
+}
+
+// SubPriority sets the profile's user-centric priority weight (higher is
+// more important; the paper's Measure V3 favors high-priority profiles).
+func SubPriority(w float64) SubOption {
+	return func(o *subOptions) error {
+		o.priority = w
+		return nil
+	}
+}
+
+// SubHandler delivers notifications by calling fn from a dedicated goroutine
+// instead of over a channel: C returns nil and Next fails. fn runs
+// sequentially per subscription; a slow handler fills the buffer like a slow
+// channel reader would, so combine with SubBuffer/SubDropOldest/SubBlocking
+// to pick the overload behavior.
+func SubHandler(fn func(Notification)) SubOption {
+	return func(o *subOptions) error {
+		if fn == nil {
+			return errors.New("genas: nil SubHandler")
+		}
+		o.handler = fn
+		return nil
+	}
+}
+
+// SubDropOldest evicts the oldest buffered notification when the buffer is
+// full, so a lagging subscriber sees the freshest events instead of the
+// stalest (the default drops the incoming notification).
+func SubDropOldest() SubOption {
+	return func(o *subOptions) error {
+		o.broker.Policy = broker.DropOldest
+		return nil
+	}
+}
+
+// SubBlocking stalls publishers while this subscription's buffer is full —
+// opt-in backpressure. A subscriber that stops reading stalls every publisher
+// until it drains, unsubscribes, or the publisher's PublishCtx context is
+// canceled; prefer the drop policies unless the consumer is trusted.
+func SubBlocking() SubOption {
+	return func(o *subOptions) error {
+		o.broker.Policy = broker.Block
+		return nil
+	}
+}
+
+// Subscription is one live registration. Notifications arrive on C (or via
+// Next), unless the subscription was created with SubHandler, in which case
+// the callback receives them. Close unsubscribes.
+type Subscription struct {
+	sub     *broker.Subscription
+	stop    func() error
+	handled bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newSubscription(sub *broker.Subscription, stop func() error, o *subOptions) *Subscription {
+	s := &Subscription{sub: sub, stop: stop}
+	if o != nil && o.handler != nil {
+		s.handled = true
+		go func(fn func(Notification)) {
+			for n := range sub.C() {
+				fn(n)
+			}
+		}(o.handler)
+	}
+	return s
+}
+
+// ID returns the subscription id.
+func (s *Subscription) ID() string { return string(s.sub.ID()) }
+
+// Profile returns the subscribed profile.
+func (s *Subscription) Profile() *Profile { return s.sub.Profile() }
+
+// C returns the notification channel. It closes when the subscription ends
+// (Close, Unsubscribe, or service shutdown). Nil for handler-driven
+// subscriptions.
+func (s *Subscription) C() <-chan Notification {
+	if s.handled {
+		return nil
+	}
+	return s.sub.C()
+}
+
+// Next blocks until the next notification, the context's cancellation, or
+// the end of the subscription (reported as ErrClosed).
+func (s *Subscription) Next(ctx context.Context) (Notification, error) {
+	if s.handled {
+		return Notification{}, errHandlerMode
+	}
+	select {
+	case n, ok := <-s.sub.C():
+		if !ok {
+			return Notification{}, ErrClosed
+		}
+		return n, nil
+	case <-ctx.Done():
+		return Notification{}, ctx.Err()
+	}
+}
+
+// Delivered returns how many notifications reached this subscription's
+// buffer.
+func (s *Subscription) Delivered() uint64 { return s.sub.Delivered() }
+
+// Dropped returns how many notifications were discarded because the
+// subscriber lagged (including SubDropOldest evictions).
+func (s *Subscription) Dropped() uint64 { return s.sub.Dropped() }
+
+// Close unsubscribes. Idempotent; the notification channel closes and a
+// pending handler goroutine drains out.
+func (s *Subscription) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.stop() })
+	return s.closeErr
+}
