@@ -8,6 +8,16 @@
 //	       -schema 'temperature=numeric[-30,50]; humidity=numeric[0,100]; radiation=numeric[1,100]' \
 //	       -adaptive -measure event -attrs A2 -shards 8 \
 //	       -defaults 'radiation=1'
+//
+// Several daemons form a broker federation (an acyclic overlay) by naming
+// themselves and dialing peers:
+//
+//	genasd -addr :7452 -schema '…' -node A
+//	genasd -addr :7453 -schema '…' -node B -peer localhost:7452
+//	genasd -addr :7454 -schema '…' -node C -peer localhost:7453
+//
+// Profiles propagate between daemons and an event crosses a TCP link only
+// when that link's routing filter matches it.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"syscall"
 
 	"genas"
+	"genas/internal/federation"
 	"genas/internal/hook"
 	"genas/internal/wire"
 )
@@ -50,6 +61,9 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		search     = fs.String("search", "linear", "node search: linear | binary | interpolation | hash")
 		shards     = fs.Int("shards", 1, "engine/delivery shard count (0 = GOMAXPROCS, 1 = single tree)")
 		defaults   = fs.String("defaults", "", "fill-ins for omitted event attributes, e.g. 'radiation=1; humidity=0'")
+		node       = fs.String("node", "", "federation node name (required with -peer; enables broker peering)")
+		peer       = fs.String("peer", "", "comma-separated peer daemon addresses to dial, e.g. 'host1:7452,host2:7452'")
+		covering   = fs.Bool("covering", true, "prune covered routes from per-peer-link filters (federation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -117,6 +131,34 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 	srv := wire.NewServer(hook.BrokerOf(svc), logger)
 	srv.SetDefaults(hook.DefaultsOf(svc))
 	defer srv.Close()
+
+	var fed *federation.Fed
+	if *node != "" || *peer != "" {
+		if *node == "" {
+			logger.Print("-peer requires -node")
+			_ = ln.Close()
+			return 2
+		}
+		fed, err = federation.New(hook.BrokerOf(svc), federation.Options{
+			Node:     *node,
+			Covering: *covering,
+			Logger:   logger,
+		})
+		if err != nil {
+			logger.Printf("federation: %v", err)
+			_ = ln.Close()
+			return 2
+		}
+		srv.SetOverlay(fed)
+		defer fed.Close()
+		// Peers are dialed with retry in the background: a chain can boot in
+		// any order, and route replay on connect converges the overlay.
+		for _, addr := range strings.Split(*peer, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				fed.DialRetry(addr)
+			}
+		}
+	}
 	// On shutdown, disconnect clients too: canceling the context only stops
 	// the accept loop, and Serve waits for connected clients otherwise.
 	go func() {

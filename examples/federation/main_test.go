@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun compiles and executes the example end to end, so wire-protocol or
+// federation drift breaks CI instead of users following the examples.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -386,6 +386,14 @@ func (s *Service) Subscribe(id, profileExpr string, opts ...SubOption) (*Subscri
 // SubscribeProfile registers an already-built profile (from NewProfile's
 // builder or ParseProfile).
 func (s *Service) SubscribeProfile(p *Profile, opts ...SubOption) (*Subscription, error) {
+	return s.subscribeWith(p, opts, nil)
+}
+
+// subscribeWith is the shared registration path behind Service and
+// Federation subscriptions. stop overrides the unsubscribe hook (nil keeps
+// the plain broker unsubscribe); Federation uses it to withdraw the route
+// from its peers.
+func (s *Service) subscribeWith(p *Profile, opts []SubOption, stop func(predicate.ID) error) (*Subscription, error) {
 	var o subOptions
 	for _, opt := range opts {
 		if err := opt(&o); err != nil {
@@ -406,8 +414,11 @@ func (s *Service) SubscribeProfile(p *Profile, opts ...SubOption) (*Subscription
 	if err != nil {
 		return nil, err
 	}
+	if stop == nil {
+		stop = s.brk.Unsubscribe
+	}
 	id := p.ID
-	return newSubscription(sub, func() error { return s.brk.Unsubscribe(id) }, &o), nil
+	return newSubscription(sub, func() error { return stop(id) }, &o), nil
 }
 
 // Unsubscribe removes a subscription.

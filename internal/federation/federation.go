@@ -1,0 +1,794 @@
+// Package federation takes the Siena-style overlay of internal/routing over
+// the wire: multiple genasd processes form the same acyclic broker topology
+// the in-process Network models, speaking the JSON-line protocol's peer
+// frames (hello, route_add/route_withdraw, forward) over TCP.
+//
+// Each daemon keeps one peer link per neighbor. A link records the profiles
+// subscribed in that neighbor's direction (its route set) and runs its own
+// distribution-based filter engine over the uncovered routes — so an event
+// crosses a TCP link only when that link's engine matches it, and
+// "unnecessary event information is rejected as early as possible" (paper
+// §5) at every hop. Covering pruning is applied per peer link exactly as in
+// the in-process overlay.
+//
+// Link lifecycle: the dialing side owns reconnection — when a link drops,
+// its routes are withdrawn from the remaining links, and on reconnect the
+// full route set (local profiles plus routes learned from other peers) is
+// replayed, so the overlay converges without a global coordinator. The
+// accepting side is handed peer connections by the wire server (first frame
+// hello) and simply tears the link down when the connection dies.
+package federation
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genas/internal/broker"
+	"genas/internal/core"
+	"genas/internal/event"
+	"genas/internal/predicate"
+	"genas/internal/routing"
+	"genas/internal/schema"
+	"genas/internal/wire"
+)
+
+// Errors reported by the federation layer.
+var (
+	ErrClosed         = errors.New("federation: closed")
+	ErrMissingNode    = errors.New("federation: missing node name")
+	ErrSchemaMismatch = errors.New("federation: peer schema does not match")
+	ErrSelfPeer       = errors.New("federation: peer announced this daemon's own node name")
+)
+
+// Options configure a federated broker node. The per-link filter engines
+// inherit the broker's engine configuration, so the paper's tree
+// optimizations apply at every hop exactly as in the in-process overlay.
+type Options struct {
+	// Node is this daemon's name in the overlay (required, unique among
+	// neighbors).
+	Node string
+	// Covering enables covering-based pruning of each link's filter engine
+	// (on by default in genasd; equivalent routes keep the smallest id).
+	Covering bool
+	// DialTimeout bounds one connect+handshake attempt (default 5s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; a link that cannot absorb a frame
+	// within it is torn down (default 10s).
+	WriteTimeout time.Duration
+	// RetryMin/RetryMax bound the reconnect backoff of dialed links
+	// (defaults 100ms and 3s).
+	RetryMin, RetryMax time.Duration
+	// Logger receives link lifecycle and protocol diagnostics (nil discards).
+	Logger *log.Logger
+}
+
+// Fed is one broker's wire-level overlay state: its peer links, their route
+// sets and filter engines, and the forward/filter counters. It implements
+// wire.Overlay, so a wire.Server mirrors local subscriptions and publishes
+// into it.
+type Fed struct {
+	name      string
+	sch       *schema.Schema
+	brk       *broker.Broker
+	opts      Options
+	engineCfg core.Config // link engines inherit the broker's engine config
+	log       *log.Logger
+
+	// mu guards the peer maps and every link's route state. The forward hot
+	// path only reads (snapshot + non-blocking enqueue), so it takes the
+	// read side and concurrent publishers do not serialize here.
+	mu     sync.RWMutex
+	peers  map[*peerLink]struct{}
+	byName map[string]*peerLink
+	closed bool
+	done   chan struct{} // closed by Close; wakes supervisor backoffs
+	wg     sync.WaitGroup
+
+	forwarded atomic.Uint64 // events sent over a peer link
+	filtered  atomic.Uint64 // link crossings avoided by early rejection
+}
+
+// peerLink is one TCP link to a neighbor daemon. After the handshake every
+// outbound frame goes through out, drained by a single writer goroutine:
+// frame order per link is preserved (route adds and withdrawals must not
+// reorder) while no caller ever blocks on peer TCP while holding Fed.mu.
+type peerLink struct {
+	name string
+	conn net.Conn
+	// out carries encoded frames to the writer goroutine. Enqueues happen
+	// only under Fed.mu (either side — close(out) runs under the write lock,
+	// which is what makes the pair race-free); a full queue means the peer
+	// cannot keep up and poisons the link.
+	out     chan []byte
+	outOnce sync.Once
+	// routes are the profiles announced by the peer (subscribers in its
+	// direction); engine filters events against the uncovered subset.
+	// Both are guarded by Fed.mu.
+	routes map[predicate.ID]*predicate.Profile
+	engine *core.Engine
+}
+
+// closeOut closes the outbound queue exactly once (dropLink and Close can
+// both reach it).
+func (l *peerLink) closeOut() { l.outOnce.Do(func() { close(l.out) }) }
+
+// outQueueDepth bounds the per-link outbound queue: deep enough to absorb a
+// full route replay plus a forward burst, small enough that a wedged peer is
+// detected by overflow rather than unbounded memory.
+const outQueueDepth = 1024
+
+// New creates the federation state for a broker. The returned Fed has no
+// links yet: install it on the wire server (accept side) and Dial/DialRetry
+// peers (dial side).
+func New(brk *broker.Broker, opts Options) (*Fed, error) {
+	if opts.Node == "" {
+		return nil, ErrMissingNode
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.WriteTimeout <= 0 {
+		opts.WriteTimeout = 10 * time.Second
+	}
+	if opts.RetryMin <= 0 {
+		opts.RetryMin = 100 * time.Millisecond
+	}
+	if opts.RetryMax < opts.RetryMin {
+		opts.RetryMax = 3 * time.Second
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Fed{
+		name:      opts.Node,
+		sch:       brk.Schema(),
+		brk:       brk,
+		opts:      opts,
+		engineCfg: brk.Engine().Config(),
+		log:       logger,
+		peers:     make(map[*peerLink]struct{}),
+		byName:    make(map[string]*peerLink),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Node returns this daemon's overlay name.
+func (f *Fed) Node() string { return f.name }
+
+// Dial connects to a peer daemon synchronously: connect, handshake, replay
+// routes. On success a background supervisor keeps the link alive
+// (reconnect with route replay) until Close. Use DialRetry when the peer may
+// not be up yet.
+func (f *Fed) Dial(addr string) error {
+	l, sc, err := f.connect(addr)
+	if err != nil {
+		return err
+	}
+	if err := f.attach(l); err != nil {
+		_ = l.conn.Close()
+		return err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.wg.Add(1)
+	f.mu.Unlock()
+	go func() {
+		defer f.wg.Done()
+		f.runLink(l, sc)
+		f.supervise(addr)
+	}()
+	return nil
+}
+
+// DialRetry starts a background supervisor that dials addr with backoff
+// until it succeeds, then keeps the link alive until Close. Initial
+// unavailability of the peer is not an error: route replay on connect makes
+// the overlay converge whenever the peer appears.
+func (f *Fed) DialRetry(addr string) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.wg.Add(1)
+	f.mu.Unlock()
+	go func() {
+		defer f.wg.Done()
+		f.supervise(addr)
+	}()
+}
+
+// supervise dials addr with backoff, runs the link until it drops, and
+// repeats until the federation closes.
+func (f *Fed) supervise(addr string) {
+	backoff := f.opts.RetryMin
+	for {
+		if f.isClosed() {
+			return
+		}
+		l, sc, err := f.connect(addr)
+		if err == nil {
+			err = f.attach(l)
+			if err != nil {
+				_ = l.conn.Close()
+			}
+		}
+		if err != nil {
+			if f.isClosed() {
+				return
+			}
+			f.log.Printf("federation: dial %s: %v (retrying in %v)", addr, err, backoff)
+			select {
+			case <-f.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > f.opts.RetryMax {
+				backoff = f.opts.RetryMax
+			}
+			continue
+		}
+		backoff = f.opts.RetryMin
+		f.runLink(l, sc)
+	}
+}
+
+func (f *Fed) isClosed() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.closed
+}
+
+// connect dials addr and performs the hello handshake, returning the link
+// and its line scanner (positioned after the hello reply).
+func (f *Fed) connect(addr string) (*peerLink, *bufio.Scanner, error) {
+	conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("federation: dial %s: %w", addr, err)
+	}
+	l := f.newLink(conn)
+	if err := f.writeFrame(conn, wire.Request{Op: wire.OpHello, Node: f.name, Schema: f.sch.String()}); err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	_ = conn.SetReadDeadline(time.Now().Add(f.opts.DialTimeout))
+	if !sc.Scan() {
+		_ = conn.Close()
+		err := sc.Err()
+		if err == nil {
+			err = errors.New("connection closed during handshake")
+		}
+		return nil, nil, fmt.Errorf("federation: handshake with %s: %w", addr, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	line := append([]byte(nil), sc.Bytes()...)
+	// The acceptor reports handshake failures as an error response frame;
+	// responses carry a type field requests never have, so check that first.
+	if resp, rerr := wire.DecodeResponse(line); rerr == nil && resp.Type == wire.MsgError {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("federation: peer %s rejected the link: %s", addr, resp.Error)
+	}
+	reply, err := wire.DecodeRequest(line)
+	if err != nil || reply.Op != wire.OpHello {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("federation: handshake with %s: unexpected frame %q", addr, line)
+	}
+	if err := f.checkHello(reply); err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	l.name = reply.Node
+	return l, sc, nil
+}
+
+// checkHello validates the peer's identity and schema.
+func (f *Fed) checkHello(h wire.Request) error {
+	if h.Node == "" {
+		return errors.New("federation: hello missing node name")
+	}
+	if h.Node == f.name {
+		return fmt.Errorf("%w: %s", ErrSelfPeer, h.Node)
+	}
+	if h.Schema != f.sch.String() {
+		return fmt.Errorf("%w: local %s, peer %s", ErrSchemaMismatch, f.sch, h.Schema)
+	}
+	return nil
+}
+
+// HandlePeer implements wire.Overlay: it owns an accepted peer connection
+// whose first frame was hello. It replies, attaches the link (replaying
+// routes toward the peer) and runs the link until the connection drops.
+func (f *Fed) HandlePeer(conn net.Conn, rd *bufio.Scanner, hello wire.Request) {
+	if err := f.checkHello(hello); err != nil {
+		if b, encErr := wire.EncodeLine(wire.Response{Type: wire.MsgError, Op: wire.OpHello, Error: err.Error()}); encErr == nil {
+			_, _ = conn.Write(b)
+		}
+		f.log.Printf("federation: rejected peer %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	l := f.newLink(conn)
+	l.name = hello.Node
+	if err := f.writeFrame(conn, wire.Request{Op: wire.OpHello, Node: f.name, Schema: f.sch.String()}); err != nil {
+		f.log.Printf("federation: hello reply to %s: %v", hello.Node, err)
+		return
+	}
+	if err := f.attach(l); err != nil {
+		f.log.Printf("federation: attach %s: %v", hello.Node, err)
+		return
+	}
+	f.runLink(l, rd)
+}
+
+// newLink allocates a link's state for a fresh connection.
+func (f *Fed) newLink(conn net.Conn) *peerLink {
+	return &peerLink{
+		conn:   conn,
+		out:    make(chan []byte, outQueueDepth),
+		routes: make(map[predicate.ID]*predicate.Profile),
+		engine: core.NewEngine(f.sch, f.engineCfg),
+	}
+}
+
+// attach registers a live link, starts its writer and replays the route set
+// the peer should know: every locally subscribed profile plus every route
+// learned from the other links. An existing link with the same peer name is
+// displaced (its reader will tear it down), and its routes are withdrawn
+// from the remaining links — the peer's replay re-adds whatever it still
+// has, so a subscriber dropped while the link was dark does not leave stale
+// routes at third-party brokers.
+func (f *Fed) attach(l *peerLink) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if old, ok := f.byName[l.name]; ok {
+		// A reconnect raced the old link's teardown: displace it. Closing the
+		// conn wakes its reader, whose dropLink is identity-guarded.
+		_ = old.conn.Close()
+		old.closeOut()
+		delete(f.peers, old)
+		delete(f.byName, l.name)
+		for id := range old.routes {
+			for o := range f.peers {
+				f.sendRouteWithdraw(o, id)
+			}
+		}
+	}
+	f.peers[l] = struct{}{}
+	f.byName[l.name] = l
+
+	// Route replay. Local profiles first, then transit routes. The queue is
+	// grown to hold the entire replay before the writer starts: a route set
+	// larger than the steady-state queue must replay in full rather than
+	// overflow, poison the link and flap forever.
+	locals := f.brk.Engine().Profiles()
+	replay := len(locals)
+	for o := range f.peers {
+		if o != l {
+			replay += len(o.routes)
+		}
+	}
+	if need := replay + outQueueDepth; need > cap(l.out) {
+		l.out = make(chan []byte, need)
+	}
+	f.wg.Add(1)
+	go f.writeLoop(l)
+	f.log.Printf("federation: %s linked to peer %s (%s)", f.name, l.name, l.conn.RemoteAddr())
+
+	for _, p := range locals {
+		f.sendRouteAdd(l, p)
+	}
+	for o := range f.peers {
+		if o == l {
+			continue
+		}
+		for _, p := range o.routes {
+			f.sendRouteAdd(l, p)
+		}
+	}
+	return nil
+}
+
+// runLink consumes peer frames until the connection drops, then tears the
+// link down (withdrawing its routes from the remaining links).
+func (f *Fed) runLink(l *peerLink, sc *bufio.Scanner) {
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		req, err := wire.DecodeRequest(line)
+		if err != nil {
+			f.log.Printf("federation: bad frame from %s: %v", l.name, err)
+			continue
+		}
+		f.handleFrame(l, req)
+	}
+	f.dropLink(l, sc.Err())
+}
+
+// handleFrame processes one peer frame.
+func (f *Fed) handleFrame(l *peerLink, req wire.Request) {
+	switch req.Op {
+	case wire.OpRouteAdd:
+		p, err := predicate.Parse(f.sch, predicate.ID(req.ID), req.Profile)
+		if err != nil {
+			f.log.Printf("federation: route_add %q from %s: %v", req.ID, l.name, err)
+			return
+		}
+		p.Priority = req.Priority
+		f.addRoute(l, p)
+	case wire.OpRouteWithdraw:
+		f.removeRoute(l, predicate.ID(req.ID))
+	case wire.OpForward:
+		ev, err := event.FromMap(f.sch, req.Event)
+		if err != nil {
+			f.log.Printf("federation: forward from %s: %v", l.name, err)
+			return
+		}
+		if _, err := f.brk.Publish(ev); err != nil && !errors.Is(err, broker.ErrClosed) {
+			f.log.Printf("federation: local delivery of forward from %s: %v", l.name, err)
+		}
+		f.forward(ev, l)
+	default:
+		f.log.Printf("federation: unexpected op %q on peer link %s", req.Op, l.name)
+	}
+}
+
+// addRoute installs a route announced by l and re-announces it to every
+// other link (the topology is acyclic, so propagation terminates). An
+// announcement identical to the installed route is dropped — a reconnect
+// replay of n unchanged routes must not trigger n engine rebuilds and a
+// federation-wide re-broadcast.
+func (f *Fed) addRoute(l *peerLink, p *predicate.Profile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.byName[l.name] != l {
+		return
+	}
+	if old, ok := l.routes[p.ID]; ok &&
+		old.Priority == p.Priority && old.Render(f.sch) == p.Render(f.sch) {
+		return
+	}
+	f.installRouteLocked(l, p)
+	for o := range f.peers {
+		if o != l {
+			f.sendRouteAdd(o, p)
+		}
+	}
+}
+
+// installRouteLocked updates the link engine for a new or changed route.
+// The common case — a fresh route not interacting with the covering
+// relation — is an O(routes) incremental add; a full rebuild is reserved
+// for routes that replace an existing id or absorb currently uncovered
+// ones, so replaying n routes costs O(n²) instead of O(n³). Caller holds
+// f.mu.
+func (f *Fed) installRouteLocked(l *peerLink, p *predicate.Profile) {
+	_, replaced := l.routes[p.ID]
+	l.routes[p.ID] = p
+	if replaced {
+		// The id's old predicate may sit in the engine: start over.
+		f.rebuildLink(l)
+		return
+	}
+	if f.opts.Covering {
+		if routing.CoveredByOther(f.sch, p, l.routes) {
+			return // p rides under an existing broader route
+		}
+		for _, q := range l.engine.Profiles() {
+			// p absorbs q when it strictly covers it, or they are equivalent
+			// and p has the smaller id — the same tiebreak CoveredByOther
+			// applies.
+			if predicate.Covers(f.sch, p, q) && !(predicate.Covers(f.sch, q, p) && q.ID < p.ID) {
+				f.rebuildLink(l)
+				return
+			}
+		}
+	}
+	if err := l.engine.AddProfile(p); err != nil {
+		f.log.Printf("federation: link %s route %s: %v", l.name, p.ID, err)
+	}
+}
+
+// removeRoute withdraws a route announced by l and propagates the withdrawal.
+func (f *Fed) removeRoute(l *peerLink, id predicate.ID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.byName[l.name] != l {
+		return
+	}
+	if _, ok := l.routes[id]; !ok {
+		return
+	}
+	delete(l.routes, id)
+	f.rebuildLink(l)
+	for o := range f.peers {
+		if o != l {
+			f.sendRouteWithdraw(o, id)
+		}
+	}
+}
+
+// rebuildLink refreshes the link's filter engine from its route set with
+// covering pruning — the same rule the in-process overlay applies. Caller
+// holds f.mu.
+func (f *Fed) rebuildLink(l *peerLink) {
+	eng := core.NewEngine(f.sch, f.engineCfg)
+	for _, p := range l.routes {
+		if f.opts.Covering && routing.CoveredByOther(f.sch, p, l.routes) {
+			continue
+		}
+		if err := eng.AddProfile(p); err != nil {
+			f.log.Printf("federation: link %s route %s: %v", l.name, p.ID, err)
+		}
+	}
+	l.engine = eng
+}
+
+// dropLink removes a dead link and withdraws its routes from the remaining
+// links. Identity-guarded: a link displaced by a reconnect does not tear
+// down its successor's routes.
+func (f *Fed) dropLink(l *peerLink, cause error) {
+	_ = l.conn.Close()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.peers[l]; !ok {
+		return
+	}
+	delete(f.peers, l)
+	if f.byName[l.name] == l {
+		delete(f.byName, l.name)
+	}
+	l.closeOut()
+	if cause == nil {
+		cause = errors.New("peer disconnected")
+	}
+	f.log.Printf("federation: link to %s down: %v", l.name, cause)
+	for id := range l.routes {
+		for o := range f.peers {
+			f.sendRouteWithdraw(o, id)
+		}
+	}
+}
+
+// ProfileAdded implements wire.Overlay: announce a local subscription to
+// every peer.
+func (f *Fed) ProfileAdded(p *predicate.Profile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for l := range f.peers {
+		f.sendRouteAdd(l, p)
+	}
+}
+
+// ProfileRemoved implements wire.Overlay: withdraw a local subscription from
+// every peer.
+func (f *Fed) ProfileRemoved(id predicate.ID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	for l := range f.peers {
+		f.sendRouteWithdraw(l, id)
+	}
+}
+
+// EventPublished implements wire.Overlay: offer a locally published event to
+// every link whose routing filter matches it.
+func (f *Fed) EventPublished(ev event.Event) { f.forward(ev, nil) }
+
+// forward sends ev over every link (except the one it arrived on) whose
+// filter engine matches it; rejected crossings count as filtered. Matching
+// runs outside f.mu against an engine snapshot, exactly like the in-process
+// overlay's deliver. The whole path takes only the read lock — concurrent
+// publishers of a federated broker never serialize on the overlay state.
+func (f *Fed) forward(ev event.Event, from *peerLink) {
+	f.mu.RLock()
+	type hop struct {
+		l   *peerLink
+		eng *core.Engine
+	}
+	hops := make([]hop, 0, len(f.peers))
+	for l := range f.peers {
+		if l != from {
+			hops = append(hops, hop{l: l, eng: l.engine})
+		}
+	}
+	f.mu.RUnlock()
+	if len(hops) == 0 {
+		return
+	}
+
+	var frame wire.Request
+	var targets []*peerLink
+	for _, h := range hops {
+		if h.eng.ProfileCount() == 0 {
+			f.filtered.Add(1)
+			continue
+		}
+		ids, _, err := h.eng.Match(ev.Vals)
+		if err != nil {
+			f.log.Printf("federation: link %s match: %v", h.l.name, err)
+			continue
+		}
+		if len(ids) == 0 {
+			// Early rejection: nobody beyond this link wants the event.
+			f.filtered.Add(1)
+			continue
+		}
+		if frame.Op == "" {
+			payload := make(map[string]float64, f.sch.N())
+			for i, v := range ev.Vals {
+				payload[f.sch.At(i).Name] = v
+			}
+			frame = wire.Request{Op: wire.OpForward, Event: payload}
+		}
+		targets = append(targets, h.l)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	encoded, err := wire.EncodeLine(frame)
+	if err != nil {
+		f.log.Printf("federation: encode forward frame: %v", err)
+		return
+	}
+	// Enqueue under the read lock: channel sends are concurrency-safe, and
+	// closeOut only runs under the write lock, so a link found live here
+	// cannot close its queue mid-enqueue. Close empties the peer maps, so
+	// the liveness check also covers a concurrent shutdown.
+	f.mu.RLock()
+	for _, l := range targets {
+		if _, live := f.peers[l]; !live {
+			continue
+		}
+		if f.enqueueBytesLocked(l, encoded) {
+			f.forwarded.Add(1)
+		}
+	}
+	f.mu.RUnlock()
+}
+
+// writeFrame writes one frame directly on a connection — handshake only,
+// before the link's writer goroutine exists.
+func (f *Fed) writeFrame(conn net.Conn, req wire.Request) error {
+	b, err := wire.EncodeLine(req)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+	if _, err := conn.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeLoop is the link's single writer: it drains the outbound queue so
+// enqueuers (who hold Fed.mu) never block on peer TCP. A write failure
+// poisons the connection — the link's reader tears it down — and the loop
+// keeps draining so the queue never wedges.
+func (f *Fed) writeLoop(l *peerLink) {
+	defer f.wg.Done()
+	broken := false
+	for b := range l.out {
+		if broken {
+			continue
+		}
+		_ = l.conn.SetWriteDeadline(time.Now().Add(f.opts.WriteTimeout))
+		if _, err := l.conn.Write(b); err != nil {
+			f.log.Printf("federation: write to %s: %v", l.name, err)
+			_ = l.conn.Close()
+			broken = true
+		}
+	}
+}
+
+// enqueueLocked queues one frame for the link's writer. Caller holds Fed.mu
+// (which is what makes the queue-close race-free). A full queue means the
+// peer cannot absorb its frames within the write timeout budget: the link is
+// poisoned rather than blocking the broker.
+func (f *Fed) enqueueLocked(l *peerLink, req wire.Request) bool {
+	b, err := wire.EncodeLine(req)
+	if err != nil {
+		f.log.Printf("federation: encode %s frame: %v", req.Op, err)
+		return false
+	}
+	return f.enqueueBytesLocked(l, b)
+}
+
+// enqueueBytesLocked is enqueueLocked for a pre-encoded frame (the forward
+// path encodes once for all target links). It reports whether the frame was
+// queued.
+func (f *Fed) enqueueBytesLocked(l *peerLink, b []byte) bool {
+	select {
+	case l.out <- b:
+		return true
+	default:
+		f.log.Printf("federation: peer %s cannot keep up (%d frames queued); dropping the link", l.name, len(l.out))
+		_ = l.conn.Close()
+		return false
+	}
+}
+
+// sendRouteAdd/sendRouteWithdraw announce route changes; failures surface
+// through the link's teardown/replay cycle. Caller holds Fed.mu.
+func (f *Fed) sendRouteAdd(l *peerLink, p *predicate.Profile) {
+	f.enqueueLocked(l, wire.Request{Op: wire.OpRouteAdd, ID: string(p.ID), Profile: p.Render(f.sch), Priority: p.Priority})
+}
+
+func (f *Fed) sendRouteWithdraw(l *peerLink, id predicate.ID) {
+	f.enqueueLocked(l, wire.Request{Op: wire.OpRouteWithdraw, ID: string(id)})
+}
+
+// Stats implements wire.Overlay.
+func (f *Fed) Stats() (node string, peers int, forwarded, filtered uint64) {
+	f.mu.RLock()
+	n := len(f.peers)
+	f.mu.RUnlock()
+	return f.name, n, f.forwarded.Load(), f.filtered.Load()
+}
+
+// RouteCount returns the number of uncovered routes on the link to the named
+// peer (0 when the link is down) — the wire twin of Node.RouteCount.
+func (f *Fed) RouteCount(peer string) int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	l, ok := f.byName[peer]
+	if !ok {
+		return 0
+	}
+	return l.engine.ProfileCount()
+}
+
+// Peers lists the names of the live peer links.
+func (f *Fed) Peers() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.peers))
+	for name := range f.byName {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Close tears every link down and stops the dial supervisors. The local
+// broker is not closed; the caller owns it.
+func (f *Fed) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	close(f.done)
+	for l := range f.peers {
+		_ = l.conn.Close()
+		l.closeOut()
+	}
+	// Empty the maps so nothing enqueues to the closed queues: late
+	// dropLink/forward callers find no live link and back off.
+	f.peers = make(map[*peerLink]struct{})
+	f.byName = make(map[string]*peerLink)
+	f.mu.Unlock()
+	f.wg.Wait()
+}

@@ -1,0 +1,654 @@
+package federation_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"genas/internal/broker"
+	"genas/internal/federation"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/wire"
+)
+
+const rpcTimeout = 5 * time.Second
+
+// daemon is one in-process genasd twin: broker + wire server + federation
+// overlay on a loopback listener.
+type daemon struct {
+	t    *testing.T
+	brk  *broker.Broker
+	srv  *wire.Server
+	fed  *federation.Fed
+	addr string
+	stop func()
+}
+
+const testSpec = "temperature=numeric[-30,50]; humidity=numeric[0,100]"
+
+// startDaemon boots a federated daemon and dials the given peers
+// synchronously (they must already be up).
+func startDaemon(t *testing.T, node, spec string, peers ...string) *daemon {
+	t.Helper()
+	sch, err := schema.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brk, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := federation.New(brk, federation.Options{
+		Node:     node,
+		Covering: true,
+		RetryMin: 20 * time.Millisecond,
+		RetryMax: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := wire.NewServer(brk, nil)
+	srv.SetOverlay(fed)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Serve(ctx, ln); err != nil {
+			t.Errorf("serve %s: %v", node, err)
+		}
+	}()
+	d := &daemon{t: t, brk: brk, srv: srv, fed: fed, addr: ln.Addr().String()}
+	d.stop = func() {
+		fed.Close()
+		cancel()
+		srv.Close()
+		wg.Wait()
+		brk.Close()
+	}
+	t.Cleanup(d.stop)
+	for _, p := range peers {
+		if err := fed.Dial(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func dial(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr, rpcTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChainDelivery: three daemons in a chain A—B—C. A profile subscribed at
+// C matches an event published at A three processes away; a non-matching
+// publish is rejected at A's link (never crossing a wire), and an event
+// matching only B's local subscriber is early-rejected at B's link to C.
+func TestChainDelivery(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	b := startDaemon(t, "B", testSpec, a.addr)
+	c := startDaemon(t, "C", testSpec, b.addr)
+
+	subC := dial(t, c.addr)
+	if err := subC.Subscribe("hot", "profile(temperature >= 35)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// The route must propagate C → B → A.
+	waitFor(t, "route at A", func() bool { return a.fed.RouteCount("B") == 1 })
+	waitFor(t, "route at B", func() bool { return b.fed.RouteCount("C") == 1 })
+
+	pubA := dial(t, a.addr)
+	if _, err := pubA.Publish(map[string]float64{"temperature": 41, "humidity": 10}, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-subC.Notifications():
+		if n.Profile != "hot" || n.Event["temperature"] != 41 {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no notification across two wire hops")
+	}
+	_, _, forwardedA, _ := a.fed.Stats()
+	if forwardedA != 1 {
+		t.Errorf("A forwarded %d, want 1", forwardedA)
+	}
+
+	// A non-matching event is rejected at A's link: it never crosses a wire.
+	if _, err := pubA.Publish(map[string]float64{"temperature": -20, "humidity": 10}, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "early rejection at A", func() bool {
+		_, _, fwd, filtered := a.fed.Stats()
+		return filtered >= 1 && fwd == 1
+	})
+
+	// An event matching only B's local subscriber crosses A→B but is
+	// early-rejected at B's link to C: filtering happens at the link, not
+	// the endpoint.
+	subB := dial(t, b.addr)
+	if err := subB.Subscribe("humid", "profile(humidity >= 50)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "humid route at A", func() bool { return a.fed.RouteCount("B") == 2 })
+	if _, err := pubA.Publish(map[string]float64{"temperature": 20, "humidity": 80}, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "early rejection at B", func() bool {
+		_, _, _, filtered := b.fed.Stats()
+		return filtered >= 1
+	})
+	select {
+	case n := <-subB.Notifications():
+		if n.Profile != "humid" {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("B's local subscriber starved")
+	}
+	// C must never see the humid event.
+	select {
+	case n := <-subC.Notifications():
+		t.Fatalf("C notified for an event it never subscribed to: %+v", n)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Wire-level stats carry the federation counters.
+	st, err := pubA.Stats(rpcTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node != "A" || st.Peers != 1 || st.Forwarded < 1 || st.Filtered < 1 {
+		t.Errorf("stats payload = %+v", st)
+	}
+}
+
+// TestCoveringPrunesPeerRoutes: covering pruning applies per peer link — a
+// broad profile absorbs a narrow one in every upstream link engine, while
+// withdrawal of the broad profile re-arms the narrow route.
+func TestCoveringPrunesPeerRoutes(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	b := startDaemon(t, "B", testSpec, a.addr)
+
+	c := dial(t, b.addr)
+	if err := c.Subscribe("narrow", "profile(temperature >= 35)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Subscribe("broad", "profile(temperature >= 10)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	// Covering prunes narrow from A's link engine toward B.
+	waitFor(t, "covered routes at A", func() bool { return a.fed.RouteCount("B") == 1 })
+	// Withdrawing broad re-arms narrow.
+	if err := c.Unsubscribe("broad", rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "narrow re-armed at A", func() bool { return a.fed.RouteCount("B") == 1 })
+	pub := dial(t, a.addr)
+	if _, err := pub.Publish(map[string]float64{"temperature": 40, "humidity": 5}, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-c.Notifications():
+		if n.Profile != "narrow" {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("narrow starved after its covering profile was withdrawn")
+	}
+}
+
+// TestDisconnectWithdrawsRoutes: when a client connection drops, its
+// subscriptions are withdrawn from the whole overlay.
+func TestDisconnectWithdrawsRoutes(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	b := startDaemon(t, "B", testSpec, a.addr)
+
+	c := dial(t, b.addr)
+	if err := c.Subscribe("hot", "profile(temperature >= 35)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "route at A", func() bool { return a.fed.RouteCount("B") == 1 })
+	_ = c.Close()
+	waitFor(t, "route withdrawn at A", func() bool { return a.fed.RouteCount("B") == 0 })
+}
+
+// TestReconnectReplaysRoutes: when the dialed peer dies and comes back on
+// the same address, the link re-forms and the route set is replayed, so
+// delivery resumes without re-subscribing.
+func TestReconnectReplaysRoutes(t *testing.T) {
+	// Daemon A is restartable: we manage its lifecycle by hand.
+	sch, err := schema.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startA := func(addr string) (string, func()) {
+		brk, err := broker.New(sch, broker.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed, err := federation.New(brk, federation.Options{Node: "A", Covering: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := wire.NewServer(brk, nil)
+		srv.SetOverlay(fed)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = srv.Serve(ctx, ln)
+		}()
+		return ln.Addr().String(), func() {
+			fed.Close()
+			cancel()
+			srv.Close()
+			wg.Wait()
+			brk.Close()
+		}
+	}
+
+	addrA, stopA := startA("127.0.0.1:0")
+	b := startDaemon(t, "B", testSpec)
+	b.fed.DialRetry(addrA)
+
+	c := dial(t, b.addr)
+	if err := c.Subscribe("hot", "profile(temperature >= 35)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial link", func() bool { return b.fed.RouteCount("A") == 0 && len(b.fed.Peers()) == 1 })
+
+	// Kill A; B's supervisor must notice and keep retrying.
+	stopA()
+	waitFor(t, "link down at B", func() bool { return len(b.fed.Peers()) == 0 })
+
+	// Restart A on the same address: the link re-forms and B replays the
+	// subscription route, so a publish at A reaches C's subscriber again.
+	if _, stop2 := startA(addrA); true {
+		defer stop2()
+	}
+	waitFor(t, "link re-formed", func() bool { return len(b.fed.Peers()) == 1 })
+
+	pub := dial(t, addrA)
+	// The replayed route may still be in flight; publish until delivered.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := pub.Publish(map[string]float64{"temperature": 41, "humidity": 10}, rpcTimeout); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case n := <-c.Notifications():
+			if n.Profile != "hot" {
+				t.Fatalf("notification = %+v", n)
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replayed route never delivered after reconnect")
+		}
+	}
+}
+
+// TestHandshakeRejections: schema mismatch, self-peering and non-federated
+// daemons all reject the link with a useful error.
+func TestHandshakeRejections(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+
+	// Schema mismatch.
+	schB, err := schema.ParseSpec("pressure=numeric[0,2000]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brkB, err := broker.New(schB, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(brkB.Close)
+	fedB, err := federation.New(brkB, federation.Options{Node: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fedB.Close)
+	if err := fedB.Dial(a.addr); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch dial err = %v", err)
+	}
+
+	// Self-peering (same node name).
+	brkA2, err := broker.New(a.brk.Schema(), broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(brkA2.Close)
+	fedA2, err := federation.New(brkA2, federation.Options{Node: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fedA2.Close)
+	if err := fedA2.Dial(a.addr); err == nil || !strings.Contains(err.Error(), "own node name") {
+		t.Errorf("self-peer dial err = %v", err)
+	}
+
+	// A non-federated daemon rejects hello frames.
+	sch, _ := schema.ParseSpec(testSpec)
+	brkP, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(brkP.Close)
+	srvP := wire.NewServer(brkP, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() { _ = srvP.Serve(ctx, ln) }()
+	t.Cleanup(srvP.Close)
+	fedC, err := federation.New(brkP, federation.Options{Node: "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fedC.Close)
+	if err := fedC.Dial(ln.Addr().String()); err == nil || !strings.Contains(err.Error(), "not federated") {
+		t.Errorf("non-federated dial err = %v", err)
+	}
+
+	// New without a node name fails.
+	if _, err := federation.New(brkP, federation.Options{}); err == nil {
+		t.Error("missing node name must fail")
+	}
+}
+
+// TestPeerFrameErrors: a peer link survives malformed frames — bad profile
+// expressions, invalid forwarded events, unknown ops and garbage lines are
+// logged and skipped, and subsequent valid frames still apply.
+func TestPeerFrameErrors(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	if got := a.fed.Node(); got != "A" {
+		t.Errorf("Node() = %q", got)
+	}
+
+	conn, err := net.Dial("tcp", a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	write := func(v any) {
+		t.Helper()
+		b, err := wire.EncodeLine(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Manual handshake as peer "Z".
+	write(wire.Request{Op: wire.OpHello, Node: "Z", Schema: a.brk.Schema().String()})
+	waitFor(t, "link up", func() bool { return len(a.fed.Peers()) == 1 })
+
+	// Garbage of every kind...
+	if _, err := conn.Write([]byte("not json\n\n")); err != nil {
+		t.Fatal(err)
+	}
+	write(wire.Request{Op: wire.OpRouteAdd, ID: "bad", Profile: "profile(bogus >= 0)"})
+	write(wire.Request{Op: wire.OpForward, Event: map[string]float64{"temperature": 9999}})
+	write(wire.Request{Op: wire.OpRouteWithdraw, ID: "never-added"})
+	write(wire.Request{Op: wire.OpPing})
+	// ...must not kill the link: a valid route still lands.
+	write(wire.Request{Op: wire.OpRouteAdd, ID: "ok", Profile: "profile(temperature >= 35)", Priority: 1})
+	waitFor(t, "valid route after garbage", func() bool { return a.fed.RouteCount("Z") == 1 })
+
+	// A valid forward still delivers to A's local broker.
+	sub := dial(t, a.addr)
+	if err := sub.Subscribe("hot", "profile(temperature >= 35)", 0, rpcTimeout); err != nil {
+		t.Fatal(err)
+	}
+	write(wire.Request{Op: wire.OpForward, Event: map[string]float64{"temperature": 41, "humidity": 10}})
+	select {
+	case n := <-sub.Notifications():
+		if n.Profile != "hot" {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("forward after garbage frames never delivered")
+	}
+
+	// Dropping the peer withdraws its routes.
+	_ = conn.Close()
+	waitFor(t, "link torn down", func() bool { return len(a.fed.Peers()) == 0 && a.fed.RouteCount("Z") == 0 })
+}
+
+// TestDisplacedLinkWithdrawsStaleRoutes: when a peer reconnects before its
+// old connection's death is detected, the displaced link's routes must be
+// withdrawn from the rest of the overlay — the peer's replay re-adds only
+// what it still has, so a subscription dropped while the link was dark does
+// not leave stale routes at third-party brokers.
+func TestDisplacedLinkWithdrawsStaleRoutes(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	b := startDaemon(t, "B", testSpec, a.addr)
+
+	connect := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", b.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = conn.Close() })
+		line, err := wire.EncodeLine(wire.Request{Op: wire.OpHello, Node: "Z", Schema: b.brk.Schema().String()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(line); err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	old := connect()
+	line, err := wire.EncodeLine(wire.Request{Op: wire.OpRouteAdd, ID: "hot", Profile: "profile(temperature >= 35)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	// Z's route propagates through B to A.
+	waitFor(t, "route at A", func() bool { return a.fed.RouteCount("B") == 1 })
+
+	// Z reconnects (the old conn still looks alive to B) without the route.
+	_ = connect()
+	waitFor(t, "stale route withdrawn at A", func() bool { return a.fed.RouteCount("B") == 0 })
+	waitFor(t, "stale route withdrawn at B", func() bool { return b.fed.RouteCount("Z") == 0 })
+}
+
+// TestCloseDuringTraffic: closing a federated broker while publishes and
+// link drops race it must not panic (regression: Close used to leave links
+// in the peer maps with closed queues, so a concurrent forward or withdraw
+// hit a closed channel).
+func TestCloseDuringTraffic(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		a := startDaemon(t, "A", testSpec)
+		b := startDaemon(t, "B", testSpec, a.addr)
+		c := startDaemon(t, "C", testSpec, b.addr)
+
+		cli := dial(t, c.addr)
+		if err := cli.Subscribe("hot", "profile(temperature >= 35)", 0, rpcTimeout); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "route at A", func() bool { return a.fed.RouteCount("B") == 1 })
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		pub := dial(t, a.addr)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := pub.Publish(map[string]float64{"temperature": 41, "humidity": 10}, rpcTimeout); err != nil {
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Duration(i) * 5 * time.Millisecond)
+		// Close B mid-flood: its two links die while A keeps forwarding.
+		b.fed.Close()
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestHelloAfterSubscribeRejected: a connection that already holds
+// subscriptions (and therefore concurrent notification writers) cannot turn
+// itself into a peer link.
+func TestHelloAfterSubscribeRejected(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	conn, err := net.Dial("tcp", a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	write := func(v any) {
+		t.Helper()
+		b, err := wire.EncodeLine(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(wire.Request{Op: wire.OpSubscribe, ID: "hot", Profile: "profile(temperature >= 35)"})
+	write(wire.Request{Op: wire.OpHello, Node: "Z", Schema: a.brk.Schema().String()})
+	sc := bufioScanner(conn)
+	var sawReject bool
+	deadline := time.Now().Add(5 * time.Second)
+	_ = conn.SetReadDeadline(deadline)
+	for sc.Scan() {
+		resp, err := wire.DecodeResponse(sc.Bytes())
+		if err != nil {
+			continue
+		}
+		if resp.Type == wire.MsgError && strings.Contains(resp.Error, "first frame") {
+			sawReject = true
+			break
+		}
+	}
+	if !sawReject {
+		t.Fatal("hello after subscribe was not rejected")
+	}
+	if n := len(a.fed.Peers()); n != 0 {
+		t.Errorf("rejected hello still created %d peer links", n)
+	}
+}
+
+func bufioScanner(conn net.Conn) *bufio.Scanner {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return sc
+}
+
+// TestLargeRouteReplay: a route set larger than the steady-state outbound
+// queue must replay in full on connect instead of overflowing the queue and
+// flapping the link forever.
+func TestLargeRouteReplay(t *testing.T) {
+	const routes = 1500 // > outQueueDepth
+	sch, err := schema.ParseSpec(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := startDaemon(t, "A", testSpec)
+
+	// B carries a big local subscription set before it ever dials A
+	// (covering off so nothing prunes).
+	brkB, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(brkB.Close)
+	for i := 0; i < routes; i++ {
+		// Disjoint humidity slivers: no profile covers another, so every
+		// route must survive at A even with covering enabled there.
+		lo := float64(i) * 0.06
+		p := predicate.MustParse(sch, predicate.ID(fmt.Sprintf("r%d", i)),
+			fmt.Sprintf("profile(humidity in [%g,%g])", lo, lo+0.05))
+		if _, err := brkB.Subscribe(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fedB, err := federation.New(brkB, federation.Options{Node: "B", Covering: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fedB.Close)
+	if err := fedB.Dial(a.addr); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "full replay at A", func() bool { return a.fed.RouteCount("B") == routes })
+	if n := len(fedB.Peers()); n != 1 {
+		t.Errorf("link flapped during replay: %d peers", n)
+	}
+}
+
+// TestMissingNodeRejected: hello frames without a node name are refused.
+func TestMissingNodeRejected(t *testing.T) {
+	a := startDaemon(t, "A", testSpec)
+	conn, err := net.Dial("tcp", a.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	line, err := wire.EncodeLine(wire.Request{Op: wire.OpHello, Schema: a.brk.Schema().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(line); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "missing node") {
+		t.Errorf("reply = %q, want a missing-node error", buf[:n])
+	}
+}

@@ -79,6 +79,14 @@ type Node struct {
 	links map[string]*link
 }
 
+// linkFilter is the matching surface deliver needs from a link's filter
+// engine. Production links always hold a *core.Engine; tests substitute
+// failing filters to pin deliver's behavior when one link errors.
+type linkFilter interface {
+	ProfileCount() int
+	Match(vals []float64) ([]predicate.ID, int, error)
+}
+
 // link is the routing state toward one neighbor: the profiles subscribed in
 // that direction and the filter deciding forwards.
 type link struct {
@@ -86,7 +94,7 @@ type link struct {
 	// routes maps profile id to the propagated profile.
 	routes map[predicate.ID]*predicate.Profile
 	// engine filters events against the uncovered route set.
-	engine *core.Engine
+	engine linkFilter
 }
 
 // AddNode creates a broker node.
@@ -254,7 +262,7 @@ func (n *Node) removeRoute(via string, id predicate.ID) {
 func (n *Node) rebuildLink(l *link) {
 	eng := core.NewEngine(n.nw.schema, n.nw.opts.Engine)
 	for _, p := range l.routes {
-		if n.nw.opts.Covering && coveredByOther(n.nw.schema, p, l.routes) {
+		if n.nw.opts.Covering && CoveredByOther(n.nw.schema, p, l.routes) {
 			continue
 		}
 		// Engine add cannot fail here: ids are unique within routes.
@@ -263,10 +271,11 @@ func (n *Node) rebuildLink(l *link) {
 	l.engine = eng
 }
 
-// coveredByOther reports whether some other route strictly covers p. Ties
+// CoveredByOther reports whether some other route strictly covers p. Ties
 // (mutual covering, i.e. equivalent profiles) keep the lexicographically
-// smallest id to avoid dropping both.
-func coveredByOther(s *schema.Schema, p *predicate.Profile, routes map[predicate.ID]*predicate.Profile) bool {
+// smallest id to avoid dropping both. The wire-level federation applies the
+// same pruning rule to its per-peer-link route sets.
+func CoveredByOther(s *schema.Schema, p *predicate.Profile, routes map[predicate.ID]*predicate.Profile) bool {
 	for id, q := range routes {
 		if id == p.ID {
 			continue
@@ -293,7 +302,9 @@ func (nw *Network) Publish(node string, ev event.Event) (int, error) {
 }
 
 // deliver matches locally, then forwards over links whose routing filter
-// accepts the event.
+// accepts the event. A failing link never aborts the fan-out: every healthy
+// link still receives the event and the errors are joined, so the returned
+// match total always covers every reachable broker.
 func (n *Node) deliver(ev event.Event, from string) (int, error) {
 	matched, err := n.local.Publish(ev)
 	if err != nil {
@@ -304,7 +315,7 @@ func (n *Node) deliver(ev event.Event, from string) (int, error) {
 	n.mu.RLock()
 	type hop struct {
 		peer   *Node
-		engine *core.Engine
+		engine linkFilter
 	}
 	hops := make([]hop, 0, len(n.links))
 	for name, l := range n.links {
@@ -315,6 +326,7 @@ func (n *Node) deliver(ev event.Event, from string) (int, error) {
 	}
 	n.mu.RUnlock()
 
+	var errs []error
 	for _, h := range hops {
 		if h.engine.ProfileCount() == 0 {
 			n.nw.filtered.Add(1)
@@ -322,7 +334,8 @@ func (n *Node) deliver(ev event.Event, from string) (int, error) {
 		}
 		ids, _, err := h.engine.Match(ev.Vals)
 		if err != nil {
-			return total, err
+			errs = append(errs, fmt.Errorf("link %s-%s: %w", n.name, h.peer.name, err))
+			continue
 		}
 		if len(ids) == 0 {
 			// Early rejection: nobody beyond this link wants the event.
@@ -331,12 +344,12 @@ func (n *Node) deliver(ev event.Event, from string) (int, error) {
 		}
 		n.nw.messages.Add(1)
 		sub, err := h.peer.deliver(ev, n.name)
-		if err != nil {
-			return total, err
-		}
 		total += sub
+		if err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return total, nil
+	return total, errors.Join(errs...)
 }
 
 // Broker exposes a node's local broker.

@@ -15,12 +15,36 @@ import (
 	"genas/internal/schema"
 )
 
+// Overlay is the federation integration surface: when installed, the server
+// hands peer connections (first frame hello) over to it and mirrors local
+// registration and publish activity into it, so profiles propagate to peer
+// daemons and events cross a TCP link only when that link's routing filter
+// matches.
+type Overlay interface {
+	// HandlePeer owns a connection whose first frame was a hello. It runs the
+	// peer link until the connection drops and must tolerate conn being
+	// closed concurrently by Server.Close. rd is the connection's line
+	// scanner (already past the hello line).
+	HandlePeer(conn net.Conn, rd *bufio.Scanner, hello Request)
+	// ProfileAdded announces a locally subscribed profile to the overlay.
+	ProfileAdded(p *predicate.Profile)
+	// ProfileRemoved withdraws a locally removed profile from the overlay.
+	ProfileRemoved(id predicate.ID)
+	// EventPublished offers a locally published event for forwarding over
+	// matching peer links.
+	EventPublished(ev event.Event)
+	// Stats reports the overlay node name, live peer link count and the
+	// forwarded/early-rejected counters.
+	Stats() (node string, peers int, forwarded, filtered uint64)
+}
+
 // Server serves the wire protocol over TCP for one broker instance. Every
 // connection owns its subscriptions: when the connection drops, its profiles
 // are removed from the filter tree.
 type Server struct {
 	brk      *broker.Broker
 	defaults *event.Defaults
+	overlay  Overlay
 	ln       net.Listener
 	log      *log.Logger
 
@@ -43,6 +67,11 @@ func NewServer(brk *broker.Broker, logger *log.Logger) *Server {
 // attribute required). Call before Serve.
 func (s *Server) SetDefaults(d *event.Defaults) { s.defaults = d }
 
+// SetOverlay federates the server: hello frames are handed to o, and local
+// subscribe/unsubscribe/publish activity is mirrored into it. Call before
+// Serve.
+func (s *Server) SetOverlay(o Overlay) { s.overlay = o }
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
@@ -56,11 +85,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return errors.New("wire: server closed")
 	}
 	s.ln = ln
+	// The watcher joins the WaitGroup under s.mu: Close sets closed under the
+	// same lock before it calls Wait, so Add can never race that Wait.
+	s.wg.Add(1)
 	s.mu.Unlock()
 
 	done := make(chan struct{})
-	defer close(done)
-	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		select {
@@ -73,6 +103,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			// Release the watcher before joining the WaitGroup it belongs to:
+			// without the close, a Close() that was not preceded by a context
+			// cancel would leave the watcher parked and this Wait (and the
+			// one inside Close) deadlocked.
+			close(done)
 			if ctx.Err() != nil || s.isClosed() {
 				s.wg.Wait()
 				return nil
@@ -80,8 +115,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			s.wg.Wait()
 			return fmt.Errorf("wire: accept: %w", err)
 		}
-		s.track(conn)
-		s.wg.Add(1)
+		if !s.track(conn) {
+			// Close ran between Accept and here: the connection would escape
+			// the teardown (and its wg.Add would race Close's Wait), so drop
+			// it instead of serving it.
+			_ = conn.Close()
+			continue
+		}
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -95,10 +135,19 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
-func (s *Server) track(c net.Conn) {
+// track registers a connection and joins the handler WaitGroup, refusing
+// when the server is already closing (the caller must then drop the conn).
+// Registration, the closed check and wg.Add happen under one lock so a
+// concurrent Close either sees the connection (and closes it) or prevents it.
+func (s *Server) track(c net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
 	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	return true
 }
 
 func (s *Server) untrack(c net.Conn) {
@@ -154,7 +203,9 @@ func (s *Server) handle(conn net.Conn) {
 		// forwarder goroutines (closing the subscription closes its channel,
 		// which ends the forwarder).
 		for id := range cs.subs {
-			_ = s.brk.Unsubscribe(predicate.ID(id))
+			if s.brk.Unsubscribe(predicate.ID(id)) == nil && s.overlay != nil {
+				s.overlay.ProfileRemoved(predicate.ID(id))
+			}
 		}
 		cs.wg.Wait()
 		_ = conn.Close()
@@ -171,6 +222,28 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			_ = cs.writeLine(Response{Type: MsgError, Error: err.Error()})
 			continue
+		}
+		if req.Op == OpHello {
+			// A peer daemon, not a client: hand the connection over to the
+			// federation layer, which runs the link until it drops.
+			if s.overlay == nil {
+				_ = cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: "daemon is not federated"})
+				continue
+			}
+			// A connection with live subscriptions has notification
+			// forwarders writing to it; handing it to the federation would
+			// put two unsynchronized writers on one conn. Hello must precede
+			// any subscription.
+			if len(cs.subs) != 0 {
+				_ = cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: "hello must be the connection's first frame"})
+				continue
+			}
+			// Forwarders of already-removed subscriptions may still be
+			// draining; wait them out so no stray write can interleave with
+			// the peer frame stream.
+			cs.wg.Wait()
+			s.overlay.HandlePeer(conn, sc, req)
+			return
 		}
 		if err := s.dispatch(cs, req); err != nil {
 			if writeErr := cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: err.Error()}); writeErr != nil {
@@ -223,6 +296,9 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 			defer cs.wg.Done()
 			s.forward(cs, sub)
 		}()
+		if s.overlay != nil {
+			s.overlay.ProfileAdded(p)
+		}
 		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
 
 	case OpUnsubscribe:
@@ -232,6 +308,9 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		delete(cs.subs, req.ID)
 		if err := s.brk.Unsubscribe(predicate.ID(req.ID)); err != nil {
 			return err
+		}
+		if s.overlay != nil {
+			s.overlay.ProfileRemoved(predicate.ID(req.ID))
 		}
 		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
 
@@ -243,6 +322,9 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		matched, err := s.brk.Publish(ev)
 		if err != nil {
 			return err
+		}
+		if s.overlay != nil {
+			s.overlay.EventPublished(ev)
 		}
 		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Matched: matched})
 
@@ -261,6 +343,11 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		counts, err := s.brk.PublishBatch(evs)
 		if err != nil {
 			return err
+		}
+		if s.overlay != nil {
+			for _, ev := range evs {
+				s.overlay.EventPublished(ev)
+			}
 		}
 		total := 0
 		for _, c := range counts {
@@ -300,6 +387,9 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		}
 		if a := s.brk.Adaptor(); a != nil {
 			payload.Restructures = a.Restructures()
+		}
+		if s.overlay != nil {
+			payload.Node, payload.Peers, payload.Forwarded, payload.Filtered = s.overlay.Stats()
 		}
 		return cs.writeLine(Response{Type: MsgStats, Op: req.Op, Stats: payload})
 

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genas/internal/broker"
+	"genas/internal/schema"
+)
+
+// TestCloseDuringNotificationFlood pins the shutdown contract: while
+// notifications stream to subscribers and publishers keep the broker busy,
+// Close must tear the server down without a panic, without interleaving a
+// notification inside a response frame (every received line decodes as a
+// complete frame) and without leaking the Serve goroutine. Run under -race;
+// the schedule noise is the point.
+func TestCloseDuringNotificationFlood(t *testing.T) {
+	sch, err := schema.ParseSpec("temperature=numeric[-30,50]; humidity=numeric[0,100]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brk, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	srv := NewServer(brk, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), ln) }()
+
+	// The subscriber speaks raw TCP so the test sees exactly the bytes the
+	// server wrote: a torn or interleaved frame would fail to decode.
+	subConn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = subConn.Close() }()
+	subLine, err := EncodeLine(Request{Op: OpSubscribe, ID: "all", Profile: "profile(temperature >= -30)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := subConn.Write(subLine); err != nil {
+		t.Fatal(err)
+	}
+	var frames atomic.Uint64
+	readerDone := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(subConn)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			if _, err := DecodeResponse(sc.Bytes()); err != nil {
+				readerDone <- err
+				return
+			}
+			frames.Add(1)
+		}
+		readerDone <- sc.Err()
+	}()
+
+	// Publishers flood; their request/response pairing intentionally races
+	// the notification forwarder on the subscriber connection, and then
+	// races Close.
+	const publishers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(ln.Addr().String(), time.Second)
+			if err != nil {
+				return
+			}
+			defer func() { _ = c.Close() }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Publish(map[string]float64{"temperature": 20, "humidity": 50}, time.Second); err != nil {
+					return // the server is tearing down
+				}
+			}
+		}()
+	}
+
+	// Let the flood build, then tear the server down mid-flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for frames.Load() < 100 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flood never built up: %d frames", frames.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	close(stop)
+	wg.Wait()
+
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v after Close", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	select {
+	case err := <-readerDone:
+		// EOF/reset is the expected end; a decode error means a torn frame.
+		if err != nil && !errors.Is(err, io.EOF) {
+			var ne net.Error
+			if !errors.As(err, &ne) && !errors.Is(err, net.ErrClosed) {
+				if _, ok := err.(*net.OpError); !ok {
+					t.Errorf("subscriber stream corrupted: %v", err)
+				}
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber reader never finished")
+	}
+	if frames.Load() < 100 {
+		t.Errorf("only %d well-formed frames observed", frames.Load())
+	}
+}
+
+// TestCloseWithoutContextCancel pins the deadlock fixed in this change: a
+// bare Close (no context cancellation) must stop Serve. Before the fix the
+// context watcher goroutine never exited, so Serve and Close deadlocked on
+// the handler WaitGroup.
+func TestCloseWithoutContextCancel(t *testing.T) {
+	sch, err := schema.ParseSpec("x=numeric[0,1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brk, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	srv := NewServer(brk, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), ln) }()
+	// Make sure the server is actually accepting before closing it.
+	c, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked without a context cancel")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return")
+	}
+	// Close is idempotent, and a closed server refuses to serve again.
+	srv.Close()
+	if err := srv.Serve(context.Background(), ln); err == nil {
+		t.Error("Serve on a closed server must fail")
+	}
+}
+
+// TestAcceptDuringCloseRace hammers connection acceptance against Close: a
+// connection accepted while Close runs must either be served or dropped,
+// never leaked past the Close barrier (which would trip the WaitGroup
+// add-after-wait race under -race).
+func TestAcceptDuringCloseRace(t *testing.T) {
+	sch, err := schema.ParseSpec("x=numeric[0,1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		brk, err := broker.New(sch, broker.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(brk, nil)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- srv.Serve(context.Background(), ln) }()
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.Dial("tcp", ln.Addr().String())
+					if err != nil {
+						return
+					}
+					_ = conn.Close()
+				}
+			}()
+		}
+		time.Sleep(time.Duration(i%5) * time.Millisecond)
+		srv.Close()
+		close(stop)
+		wg.Wait()
+		select {
+		case <-serveDone:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Serve did not return after racing Close")
+		}
+		brk.Close()
+	}
+}

@@ -30,6 +30,29 @@ const (
 	OpPing         Op = "ping"
 )
 
+// Peer (daemon-to-daemon) operations. A federated daemon identifies itself
+// with a hello frame as the first line of a connection; after the handshake
+// the link is a symmetric stream of peer frames in both directions (no
+// responses): route_add/route_withdraw propagate profiles toward potential
+// publishers, forward carries an event across the link once that link's
+// routing filter matched it — so "unnecessary event information is rejected
+// as early as possible" (paper §5) at every hop.
+const (
+	// OpHello opens a peer link: Node carries the sender's overlay node name,
+	// Schema its schema rendering (both daemons must agree). The acceptor
+	// answers with its own hello frame.
+	OpHello Op = "hello"
+	// OpRouteAdd announces a profile subscribed in the sender's direction:
+	// ID, Profile (profile language) and Priority describe it.
+	OpRouteAdd Op = "route_add"
+	// OpRouteWithdraw retracts a previously announced route by ID.
+	OpRouteWithdraw Op = "route_withdraw"
+	// OpForward carries one event across the link (Event payload). It is
+	// fire-and-forget: the receiving daemon delivers locally and forwards on
+	// over its own matching links.
+	OpForward Op = "forward"
+)
+
 // Request is one client→server message.
 type Request struct {
 	Op Op `json:"op"`
@@ -48,6 +71,11 @@ type Request struct {
 	Attr string  `json:"attr,omitempty"`
 	Lo   float64 `json:"lo,omitempty"`
 	Hi   float64 `json:"hi,omitempty"`
+	// Node is the sender's overlay node name (hello frames).
+	Node string `json:"node,omitempty"`
+	// Schema is the sender's schema rendering, checked for equality during
+	// the peer handshake (hello frames).
+	Schema string `json:"schema,omitempty"`
 }
 
 // MsgType enumerates server→client message types.
@@ -99,7 +127,8 @@ type ProfilePayload struct {
 	Priority float64 `json:"priority,omitempty"`
 }
 
-// StatsPayload mirrors broker.Stats on the wire.
+// StatsPayload mirrors broker.Stats on the wire, plus the federation link
+// counters when the daemon is peered.
 type StatsPayload struct {
 	Subscriptions int     `json:"subscriptions"`
 	Published     uint64  `json:"published"`
@@ -109,6 +138,14 @@ type StatsPayload struct {
 	FilterOps     uint64  `json:"filter_ops"`
 	MeanOps       float64 `json:"mean_ops"`
 	Restructures  int     `json:"restructures,omitempty"`
+	// Node names this daemon in the overlay (federated daemons only).
+	Node string `json:"fed_node,omitempty"`
+	// Peers counts live peer links.
+	Peers int `json:"peers,omitempty"`
+	// Forwarded counts events sent over peer links; Filtered counts link
+	// crossings avoided by early rejection at this daemon's links.
+	Forwarded uint64 `json:"forwarded,omitempty"`
+	Filtered  uint64 `json:"peer_filtered,omitempty"`
 }
 
 // AttrPayload describes one schema attribute on the wire.
