@@ -1,0 +1,231 @@
+// Command genasbench runs scenario-diverse load suites against the filtering
+// stack and records machine-comparable JSON reports.
+//
+//	genasbench list
+//	genasbench run -suite smoke -out BENCH_loadgen.json
+//	genasbench run -suite full -short -compare BENCH_loadgen.json -tol 0.25
+//	genasbench compare -old BENCH_loadgen.json -new BENCH_new.json -tol 0.25
+//	genasbench derate -in BENCH_new.json -out BENCH_degraded.json -factor 0.5
+//
+// run executes a named suite (scenarios synthesized from the distribution
+// catalog: uniform, Zipf-hot, correlated bursts, churn, a federated chain)
+// and writes a report with throughput, p50/p99 publish latency, matches/sec
+// and allocs per event. compare gates a new report against a baseline and
+// exits non-zero when any baseline scenario lost more than the tolerated
+// fraction of its throughput — the CI perf gate. derate scales a report's
+// throughputs down, giving the gate a self-test fixture (an injected
+// regression must fail). Reports compare meaningfully only against a
+// baseline recorded on comparable hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"genas/internal/loadgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommand; exit codes: 0 success, 1 regression or
+// runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(stdout)
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "compare":
+		return cmdCompare(args[1:], stdout, stderr)
+	case "derate":
+		return cmdDerate(args[1:], stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "genasbench: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: genasbench <command> [flags]
+
+commands:
+  list      print the scenario catalog and suites
+  run       run a suite and record a JSON report
+            -suite smoke|full  -out FILE  [-short]  [-compare BASELINE -tol 0.25]
+  compare   gate a new report against a baseline (exit 1 on regression)
+            -old FILE  -new FILE  [-tol 0.25]
+  derate    scale a report's throughputs down (gate self-test fixture)
+            -in FILE  -out FILE  [-factor 0.5]
+`)
+}
+
+// cmdList prints the catalog: suites first, then every scenario with its
+// driver and full-suite sizes.
+func cmdList(stdout io.Writer) int {
+	fmt.Fprintln(stdout, "suites:")
+	for _, s := range loadgen.SuiteNames() {
+		scs, _ := loadgen.Suite(s, false)
+		fmt.Fprintf(stdout, "  %-8s", s)
+		for i, sc := range scs {
+			if i > 0 {
+				fmt.Fprint(stdout, ",")
+			}
+			fmt.Fprintf(stdout, " %s", sc.Name)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintln(stdout, "scenarios:")
+	for _, n := range loadgen.ScenarioNames() {
+		sc, _ := loadgen.ScenarioByName(n)
+		fmt.Fprintf(stdout, "  %-18s driver=%-10s events=%-6d profiles=%d\n",
+			sc.Name, sc.Driver, sc.Events, sc.Profiles)
+	}
+	return 0
+}
+
+// cmdRun executes a suite, writes the report and optionally gates it
+// against a baseline in one step.
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genasbench run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		suite   = fs.String("suite", "smoke", "suite to run (see genasbench list)")
+		out     = fs.String("out", "BENCH_loadgen.json", "report output path")
+		short   = fs.Bool("short", false, "scale scenario sizes down for fast runs")
+		reps    = fs.Int("reps", 3, "repetitions per scenario (best throughput wins)")
+		compare = fs.String("compare", "", "baseline report to gate against after the run")
+		tol     = fs.Float64("tol", 0.25, "tolerated throughput drop fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	scs, err := loadgen.Suite(*suite, *short)
+	if err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 2
+	}
+	results := make([]loadgen.Result, 0, len(scs))
+	for _, sc := range scs {
+		fmt.Fprintf(stdout, "running %-18s (driver=%s events=%d profiles=%d) ... ",
+			sc.Name, sc.Driver, sc.Events, sc.Profiles)
+		res, err := loadgen.RunBest(sc, *reps)
+		if err != nil {
+			fmt.Fprintln(stdout)
+			fmt.Fprintf(stderr, "genasbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%.0f events/s, p50 %.1fus, p99 %.1fus, %d matched\n",
+			res.Measured.ThroughputEPS, res.Measured.P50Micros, res.Measured.P99Micros,
+			res.Workload.MatchedTotal)
+		results = append(results, *res)
+	}
+	report := loadgen.NewReport(*suite, results)
+	if err := report.WriteFile(*out); err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "report written to %s (%d scenarios)\n", *out, len(results))
+	if *compare == "" {
+		return 0
+	}
+	base, err := loadgen.ReadReport(*compare)
+	if err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 1
+	}
+	return gate(base, report, *tol, stdout, stderr)
+}
+
+// cmdCompare gates an already-recorded report against a baseline.
+func cmdCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genasbench compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		oldPath = fs.String("old", "", "baseline report")
+		newPath = fs.String("new", "", "report under test")
+		tol     = fs.Float64("tol", 0.25, "tolerated throughput drop fraction")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(stderr, "genasbench compare: -old and -new are required")
+		return 2
+	}
+	base, err := loadgen.ReadReport(*oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 1
+	}
+	cur, err := loadgen.ReadReport(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 1
+	}
+	return gate(base, cur, *tol, stdout, stderr)
+}
+
+// gate prints the verdict and maps regressions to exit code 1.
+func gate(base, cur *loadgen.Report, tol float64, stdout, stderr io.Writer) int {
+	if base.Host != cur.Host {
+		fmt.Fprintf(stdout, "note: baseline recorded on %s/%s %d-cpu %s, this report on %s/%s %d-cpu %s — cross-host throughput is noisy\n",
+			base.Host.GOOS, base.Host.GOARCH, base.Host.NumCPU, base.Host.GoVersion,
+			cur.Host.GOOS, cur.Host.GOARCH, cur.Host.NumCPU, cur.Host.GoVersion)
+	}
+	regs := loadgen.Compare(base, cur, tol)
+	if len(regs) == 0 {
+		fmt.Fprintf(stdout, "perf gate: OK (%d scenarios within %.0f%% of baseline)\n",
+			len(base.Scenarios), tol*100)
+		return 0
+	}
+	fmt.Fprintf(stderr, "perf gate: FAIL — %d regression(s) beyond the %.0f%% tolerance:\n", len(regs), tol*100)
+	for _, g := range regs {
+		fmt.Fprintf(stderr, "  %s\n", g)
+	}
+	return 1
+}
+
+// cmdDerate scales every throughput in a report down by factor, producing a
+// known-bad report: the fixture CI uses to prove the gate actually fails.
+func cmdDerate(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genasbench derate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in     = fs.String("in", "", "input report")
+		out    = fs.String("out", "", "output report")
+		factor = fs.Float64("factor", 0.5, "throughput multiplier")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *in == "" || *out == "" {
+		fmt.Fprintln(stderr, "genasbench derate: -in and -out are required")
+		return 2
+	}
+	r, err := loadgen.ReadReport(*in)
+	if err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 1
+	}
+	for i := range r.Scenarios {
+		r.Scenarios[i].Measured.ThroughputEPS *= *factor
+		r.Scenarios[i].Measured.MatchesPerSec *= *factor
+	}
+	if err := r.WriteFile(*out); err != nil {
+		fmt.Fprintf(stderr, "genasbench: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// exec runs the CLI with captured output.
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestList prints every suite and scenario.
+func TestList(t *testing.T) {
+	code, out, _ := exec(t, "list")
+	if code != 0 {
+		t.Fatalf("list exited %d", code)
+	}
+	for _, want := range []string{"smoke", "full", "uniform-dense", "zipf-hot",
+		"correlated-storm", "churn-heavy", "federated-3hop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output misses %q", want)
+		}
+	}
+}
+
+// TestUsageAndBadArgs covers the dispatch edges.
+func TestUsageAndBadArgs(t *testing.T) {
+	if code, _, _ := exec(t); code != 2 {
+		t.Error("no command should exit 2")
+	}
+	if code, out, _ := exec(t, "help"); code != 0 || !strings.Contains(out, "usage:") {
+		t.Error("help should print usage and exit 0")
+	}
+	if code, _, _ := exec(t, "frobnicate"); code != 2 {
+		t.Error("unknown command should exit 2")
+	}
+	if code, _, _ := exec(t, "run", "-suite", "no-such"); code != 2 {
+		t.Error("unknown suite should exit 2")
+	}
+	if code, _, _ := exec(t, "run", "-badflag"); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+	if code, _, _ := exec(t, "compare", "-old", "only.json"); code != 2 {
+		t.Error("compare without -new should exit 2")
+	}
+	if code, _, _ := exec(t, "derate", "-in", "only.json"); code != 2 {
+		t.Error("derate without -out should exit 2")
+	}
+	if code, _, _ := exec(t, "compare", "-old", "absent.json", "-new", "absent.json"); code != 1 {
+		t.Error("compare of missing files should exit 1")
+	}
+	if code, _, _ := exec(t, "derate", "-in", "absent.json", "-out", "x.json"); code != 1 {
+		t.Error("derate of a missing file should exit 1")
+	}
+}
+
+// TestRunCompareGate is the acceptance path end to end: run the smoke suite
+// (scaled down further for the test), self-compare cleanly, then inject a
+// regression with derate and require the gate to fail.
+func TestRunCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	report := filepath.Join(dir, "bench.json")
+
+	code, out, errOut := exec(t, "run", "-suite", "smoke", "-short", "-out", report)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "report written") {
+		t.Fatalf("run did not report its output file:\n%s", out)
+	}
+	for _, sc := range []string{"uniform-dense", "zipf-hot", "correlated-storm",
+		"churn-heavy", "federated-3hop"} {
+		if !strings.Contains(out, sc) {
+			t.Errorf("smoke run skipped %s", sc)
+		}
+	}
+
+	// A report gates cleanly against itself.
+	if code, out, _ := exec(t, "compare", "-old", report, "-new", report); code != 0 ||
+		!strings.Contains(out, "perf gate: OK") {
+		t.Fatalf("self-compare failed (exit %d):\n%s", code, out)
+	}
+
+	// run -compare in one step.
+	report2 := filepath.Join(dir, "bench2.json")
+	if code, _, errOut := exec(t, "run", "-suite", "smoke", "-short", "-out", report2,
+		"-compare", report, "-tol", "0.95"); code != 0 {
+		t.Fatalf("run -compare exited %d: %s", code, errOut)
+	}
+
+	// An injected 50% regression must fail the 25% gate.
+	degraded := filepath.Join(dir, "degraded.json")
+	if code, _, _ := exec(t, "derate", "-in", report, "-out", degraded, "-factor", "0.5"); code != 0 {
+		t.Fatal("derate failed")
+	}
+	code, _, errOut = exec(t, "compare", "-old", report, "-new", degraded, "-tol", "0.25")
+	if code != 1 {
+		t.Fatalf("gate accepted an injected regression (exit %d)", code)
+	}
+	if !strings.Contains(errOut, "perf gate: FAIL") {
+		t.Errorf("gate failure not reported:\n%s", errOut)
+	}
+}

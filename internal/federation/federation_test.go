@@ -98,7 +98,10 @@ func dial(t *testing.T, addr string) *wire.Client {
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	// Generous: the slow path (1500-route replay, O(n²) covering work)
+	// shares one core with every other -race test package in CI; a passing
+	// wait returns as soon as the condition holds regardless.
+	deadline := time.Now().Add(60 * time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)

@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report")
+
+// TestReportGolden pins the report's JSON shape and its deterministic
+// content: a fixed small scenario is run, the timing-dependent fields are
+// normalized away, and the remaining bytes must match the committed golden
+// file. Field renames, reordering or workload drift all fail here.
+// Regenerate with: go test ./internal/loadgen -run TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	sc := Scenario{
+		Name:        "golden-tiny",
+		Driver:      "engine",
+		Schema:      stdSchema,
+		Seed:        7,
+		Events:      300,
+		Profiles:    40,
+		Batch:       16,
+		EventShapes: map[string]string{"temperature": "d14"},
+		HotKeys:     &HotKeySpec{Attr: "floor", P: 0.6, K: 4, S: 1.5},
+		Churn:       &ChurnSpec{Every: 100, Ops: 5},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := NewReport("golden", []Result{*res})
+	report.Normalize()
+	got, err := report.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report deviates from golden file %s\n got: %s\nwant: %s", path, got, want)
+	}
+}
+
+// TestNormalize checks normalization wipes every machine-dependent field.
+func TestNormalize(t *testing.T) {
+	r := NewReport("x", []Result{{
+		Name:     "a",
+		Measured: Measured{ThroughputEPS: 123, P99Micros: 4},
+	}})
+	if r.Host.NumCPU == 0 {
+		t.Fatal("report did not record the host")
+	}
+	r.Normalize()
+	if r.Host != (HostInfo{}) {
+		t.Errorf("host survived normalization: %+v", r.Host)
+	}
+	if r.Scenarios[0].Measured != (Measured{}) {
+		t.Errorf("measurements survived normalization: %+v", r.Scenarios[0].Measured)
+	}
+}

@@ -1,0 +1,273 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fingerprint serializes everything a plan determines — the event stream,
+// the rendered profile population and the churn schedule — so two plans are
+// equal iff their fingerprints are byte-identical.
+func fingerprint(t *testing.T, p *Plan) string {
+	t.Helper()
+	var b strings.Builder
+	ev, err := json.Marshal(p.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(ev)
+	for _, pr := range p.Initial {
+		b.WriteString(string(pr.ID))
+		b.WriteString(pr.Render(p.Schema))
+		b.WriteByte('\n')
+	}
+	for _, st := range p.Churn {
+		b.WriteString("@")
+		b.WriteString(strings.Repeat("i", st.At%7)) // cheap position marker
+		for _, id := range st.Remove {
+			b.WriteString("-" + string(id))
+		}
+		for _, pr := range st.Add {
+			b.WriteString("+" + string(pr.ID) + pr.Render(p.Schema))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestBuildDeterminism is the harness's core property: the same scenario
+// value always materializes the byte-identical plan, for every catalog
+// entry, so baselines recorded on different days measure the same work.
+func TestBuildDeterminism(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		sc, err := ScenarioByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc = Scale(sc, 0.02) // floors: 200 events, 50 profiles
+		a, err := Build(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := Build(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fingerprint(t, a) != fingerprint(t, b) {
+			t.Errorf("%s: same seed produced different plans", name)
+		}
+		sc.Seed++
+		c, err := Build(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if fingerprint(t, a) == fingerprint(t, c) {
+			t.Errorf("%s: different seeds produced identical plans", name)
+		}
+	}
+}
+
+// TestPlanShape checks the materialized plan against its spec: sizes,
+// domain validity of every sampled value, and the churn schedule's
+// bookkeeping.
+func TestPlanShape(t *testing.T) {
+	sc, err := ScenarioByName("churn-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = Scale(sc, 0.05)
+	p, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != sc.Events || len(p.Initial) != sc.Profiles {
+		t.Fatalf("plan sizes %d/%d, want %d/%d", len(p.Events), len(p.Initial), sc.Events, sc.Profiles)
+	}
+	for i, ev := range p.Events {
+		if len(ev) != p.Schema.N() {
+			t.Fatalf("event %d has %d values, want %d", i, len(ev), p.Schema.N())
+		}
+		for j, v := range ev {
+			if err := p.Schema.Validate(j, v); err != nil {
+				t.Fatalf("event %d attribute %d: %v", i, j, err)
+			}
+		}
+	}
+	if len(p.Churn) == 0 {
+		t.Fatal("churn scenario built no churn steps")
+	}
+	seen := map[string]bool{}
+	for _, pr := range p.Initial {
+		seen[string(pr.ID)] = true
+	}
+	last := -1
+	for _, st := range p.Churn {
+		if st.At <= last {
+			t.Fatalf("churn steps out of order: %d after %d", st.At, last)
+		}
+		last = st.At
+		if len(st.Remove) != len(st.Add) {
+			t.Fatalf("churn step at %d removes %d but adds %d", st.At, len(st.Remove), len(st.Add))
+		}
+		for _, id := range st.Remove {
+			if !seen[string(id)] {
+				t.Fatalf("churn removes %s which was never alive", id)
+			}
+			delete(seen, string(id))
+		}
+		for _, pr := range st.Add {
+			if seen[string(pr.ID)] {
+				t.Fatalf("churn adds duplicate id %s", pr.ID)
+			}
+			seen[string(pr.ID)] = true
+		}
+	}
+	if p.ChurnOps() == 0 {
+		t.Fatal("ChurnOps reported zero")
+	}
+}
+
+// TestHotKeySkew verifies the zipf-hot stream actually concentrates: the
+// most frequent temperature value must carry a large multiple of the
+// uniform share.
+func TestHotKeySkew(t *testing.T) {
+	sc, err := ScenarioByName("zipf-hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Events, sc.Profiles = 5000, 50
+	p, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := p.Schema.Index("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := map[float64]int{}
+	for _, ev := range p.Events {
+		freq[ev[i]]++
+	}
+	top := 0
+	for _, n := range freq {
+		if n > top {
+			top = n
+		}
+	}
+	// With P=0.85 and Zipf rank weights, the hottest key alone should carry
+	// well over a quarter of the stream; a uniform continuous stream would
+	// give any single value ~1 hit.
+	if top < len(p.Events)/4 {
+		t.Fatalf("hot key carries %d of %d events; stream is not skewed", top, len(p.Events))
+	}
+}
+
+// TestCorrelatedStream verifies the correlated-storm mixture induces the
+// designed dependence: conditioned on storm-grade humidity, severe events
+// are far more common than in the dry slice.
+func TestCorrelatedStream(t *testing.T) {
+	sc, err := ScenarioByName("correlated-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Events, sc.Profiles = 8000, 50
+	p, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hum, _ := p.Schema.Index("humidity")
+	sev, _ := p.Schema.Index("severity")
+	var wetSevere, wet, drySevere, dry float64
+	for _, ev := range p.Events {
+		severe := ev[sev] == 2 // "high"
+		if ev[hum] > 90 {
+			wet++
+			if severe {
+				wetSevere++
+			}
+		} else {
+			dry++
+			if severe {
+				drySevere++
+			}
+		}
+	}
+	if wet == 0 || dry == 0 {
+		t.Fatalf("degenerate humidity split wet=%v dry=%v", wet, dry)
+	}
+	if wetSevere/wet <= 2*drySevere/dry {
+		t.Fatalf("no correlation: P(severe|wet)=%.3f P(severe|dry)=%.3f",
+			wetSevere/wet, drySevere/dry)
+	}
+}
+
+// TestScale pins the floors and the shape-preservation contract.
+func TestScale(t *testing.T) {
+	sc, err := ScenarioByName("churn-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := Scale(sc, 0.0001)
+	if tiny.Events != 200 || tiny.Profiles != 50 {
+		t.Fatalf("floors not applied: %d events, %d profiles", tiny.Events, tiny.Profiles)
+	}
+	if tiny.Churn == nil || tiny.Churn.Every != 20 || tiny.Churn.Ops != 2 {
+		t.Fatalf("churn floors not applied: %+v", tiny.Churn)
+	}
+	if sc.Churn.Every != 200 {
+		t.Fatal("Scale mutated the catalog scenario")
+	}
+}
+
+// TestBadScenarios covers the compile-time rejections.
+func TestBadScenarios(t *testing.T) {
+	base := Scenario{Name: "x", Schema: stdSchema, Seed: 1, Events: 10, Profiles: 2}
+	cases := map[string]func(Scenario) Scenario{
+		"no name":       func(sc Scenario) Scenario { sc.Name = ""; return sc },
+		"no events":     func(sc Scenario) Scenario { sc.Events = 0; return sc },
+		"neg batch":     func(sc Scenario) Scenario { sc.Batch = -1; return sc },
+		"bad schema":    func(sc Scenario) Scenario { sc.Schema = "nope"; return sc },
+		"bad shape":     func(sc Scenario) Scenario { sc.EventShapes = map[string]string{"temperature": "d99"}; return sc },
+		"bad attr":      func(sc Scenario) Scenario { sc.EventShapes = map[string]string{"zap": "d1"}; return sc },
+		"bad profshape": func(sc Scenario) Scenario { sc.ProfileShapes = map[string]string{"zap": "d1"}; return sc },
+		"bad hot attr":  func(sc Scenario) Scenario { sc.HotKeys = &HotKeySpec{Attr: "zap", P: 0.5}; return sc },
+		"bad hot p":     func(sc Scenario) Scenario { sc.HotKeys = &HotKeySpec{Attr: "floor", P: 2}; return sc },
+		"bad churn":     func(sc Scenario) Scenario { sc.Churn = &ChurnSpec{Every: 0, Ops: 1}; return sc },
+		"short corr row": func(sc Scenario) Scenario {
+			sc.Correlated = &CorrelatedSpec{Weights: []float64{1}, Components: [][]string{{"equal"}}}
+			return sc
+		},
+		"bad corr shape": func(sc Scenario) Scenario {
+			sc.Correlated = &CorrelatedSpec{Weights: []float64{1},
+				Components: [][]string{{"d99", "equal", "equal", "equal"}}}
+			return sc
+		},
+		"bad corr weights": func(sc Scenario) Scenario {
+			sc.Correlated = &CorrelatedSpec{Weights: []float64{-1},
+				Components: [][]string{{"equal", "equal", "equal", "equal"}}}
+			return sc
+		},
+	}
+	for name, mut := range cases {
+		if _, err := Build(mut(base)); err == nil {
+			t.Errorf("%s: Build accepted an invalid scenario", name)
+		}
+	}
+	if _, err := Build(base); err != nil {
+		t.Fatalf("base scenario should be valid: %v", err)
+	}
+}
+
+// TestUnknownNames covers the catalog lookups' error paths.
+func TestUnknownNames(t *testing.T) {
+	if _, err := ScenarioByName("no-such"); err == nil {
+		t.Error("ScenarioByName accepted an unknown name")
+	}
+	if _, err := Suite("no-such", false); err == nil {
+		t.Error("Suite accepted an unknown name")
+	}
+	if _, err := OpenDriver(Scenario{Driver: "no-such"}, nil); err == nil {
+		t.Error("OpenDriver accepted an unknown driver")
+	}
+}

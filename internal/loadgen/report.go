@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// ReportVersion gates report compatibility: Compare refuses to diff
+// reports of different versions, so a format change can never masquerade
+// as a perf change.
+const ReportVersion = 1
+
+// Report is the stable JSON artifact genasbench records (BENCH_loadgen.json)
+// and the CI perf gate compares. Field order is fixed by this struct; the
+// scenario list is sorted by name.
+type Report struct {
+	Tool    string `json:"tool"`
+	Version int    `json:"version"`
+	Suite   string `json:"suite"`
+	// Host describes where the report was recorded: regression comparisons
+	// across different hosts are noise-prone (the committed baseline comes
+	// from a 1-core container; see the CI job's caveat).
+	Host      HostInfo `json:"host"`
+	Scenarios []Result `json:"scenarios"`
+}
+
+// HostInfo captures the recording machine.
+type HostInfo struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// NewReport assembles a report over the given results.
+func NewReport(suite string, results []Result) *Report {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	return &Report{
+		Tool:    "genasbench",
+		Version: ReportVersion,
+		Suite:   suite,
+		Host: HostInfo{
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			GoVersion: runtime.Version(),
+		},
+		Scenarios: sorted,
+	}
+}
+
+// Normalize zeroes every machine- and timing-dependent field, leaving only
+// the deterministic workload skeleton: the golden test pins the report
+// *shape* without pinning one machine's speed.
+func (r *Report) Normalize() {
+	r.Host = HostInfo{}
+	for i := range r.Scenarios {
+		r.Scenarios[i].Measured = Measured{}
+	}
+}
+
+// Encode renders the canonical indented JSON form, newline-terminated.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile records the report at path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadReport loads a report from path.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("loadgen: %s: report version %d, want %d", path, r.Version, ReportVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one failed comparison row.
+type Regression struct {
+	Scenario string `json:"scenario"`
+	// OldEPS and NewEPS are the compared throughputs.
+	OldEPS float64 `json:"old_eps"`
+	NewEPS float64 `json:"new_eps"`
+	// Ratio is NewEPS/OldEPS (0 when the scenario vanished).
+	Ratio float64 `json:"ratio"`
+	// Missing marks a scenario present in the baseline but absent from the
+	// new report — silent coverage loss counts as a regression.
+	Missing bool `json:"missing,omitempty"`
+}
+
+// String renders one regression for gate logs.
+func (g Regression) String() string {
+	if g.Missing {
+		return fmt.Sprintf("%s: missing from new report (was %.0f events/s)", g.Scenario, g.OldEPS)
+	}
+	return fmt.Sprintf("%s: %.0f -> %.0f events/s (%.1f%% of baseline)",
+		g.Scenario, g.OldEPS, g.NewEPS, g.Ratio*100)
+}
+
+// Compare gates cur against base: every baseline scenario must still exist
+// and keep at least (1 − tolerance) of its throughput. Improvements and
+// scenarios new to the suite never fail the gate. A tolerance of 0.25
+// tolerates a 25% drop.
+func Compare(base, cur *Report, tolerance float64) []Regression {
+	byName := make(map[string]Result, len(cur.Scenarios))
+	for _, r := range cur.Scenarios {
+		byName[r.Name] = r
+	}
+	var regs []Regression
+	for _, o := range base.Scenarios {
+		n, ok := byName[o.Name]
+		if !ok {
+			regs = append(regs, Regression{Scenario: o.Name, OldEPS: o.Measured.ThroughputEPS, Missing: true})
+			continue
+		}
+		if o.Measured.ThroughputEPS <= 0 {
+			continue // an empty baseline row gates nothing
+		}
+		ratio := n.Measured.ThroughputEPS / o.Measured.ThroughputEPS
+		if ratio < 1-tolerance {
+			regs = append(regs, Regression{
+				Scenario: o.Name,
+				OldEPS:   o.Measured.ThroughputEPS,
+				NewEPS:   n.Measured.ThroughputEPS,
+				Ratio:    ratio,
+			})
+		}
+	}
+	return regs
+}

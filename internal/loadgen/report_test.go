@@ -1,0 +1,85 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mkReport builds a report with one scenario per (name, eps) pair.
+func mkReport(rows map[string]float64) *Report {
+	var results []Result
+	for name, eps := range rows {
+		results = append(results, Result{
+			Name:     name,
+			Measured: Measured{ThroughputEPS: eps, MatchesPerSec: eps / 2},
+		})
+	}
+	return NewReport("test", results)
+}
+
+// TestCompareGate covers the gate's decision table: pass within tolerance,
+// fail beyond it, never fail on improvement, and treat a vanished scenario
+// as a regression.
+func TestCompareGate(t *testing.T) {
+	base := mkReport(map[string]float64{"a": 1000, "b": 2000, "c": 500})
+
+	if regs := Compare(base, mkReport(map[string]float64{"a": 900, "b": 1600, "c": 600}), 0.25); len(regs) != 0 {
+		t.Errorf("within-tolerance report flagged: %v", regs)
+	}
+	regs := Compare(base, mkReport(map[string]float64{"a": 700, "b": 2000, "c": 500}), 0.25)
+	if len(regs) != 1 || regs[0].Scenario != "a" {
+		t.Fatalf("want one regression on a, got %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "a:") {
+		t.Errorf("regression rendering lost the scenario: %q", regs[0])
+	}
+	regs = Compare(base, mkReport(map[string]float64{"a": 1000, "b": 2000}), 0.25)
+	if len(regs) != 1 || !regs[0].Missing || regs[0].Scenario != "c" {
+		t.Fatalf("missing scenario not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Errorf("missing rendering wrong: %q", regs[0])
+	}
+	// A scenario only in the new report gates nothing; a zero baseline row
+	// gates nothing.
+	base2 := mkReport(map[string]float64{"a": 0})
+	if regs := Compare(base2, mkReport(map[string]float64{"a": 1, "z": 9}), 0.25); len(regs) != 0 {
+		t.Errorf("zero baseline or new scenario flagged: %v", regs)
+	}
+}
+
+// TestReportRoundTrip checks WriteFile/ReadReport and the version gate.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	r := mkReport(map[string]float64{"a": 1000})
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 1 || back.Scenarios[0].Measured.ThroughputEPS != 1000 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	if _, err := ReadReport(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("ReadReport of a missing file succeeded")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("ReadReport of garbage succeeded")
+	}
+	r.Version = ReportVersion + 1
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Error("ReadReport accepted a future report version")
+	}
+}

@@ -1,0 +1,172 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// tinyScenario is the drivers' shared oracle workload: small enough for
+// -race, varied enough (skew + ranges over every domain kind) that a match
+// path bug would change the totals.
+func tinyScenario(driver string) Scenario {
+	return Scenario{
+		Name:        "tiny-" + driver,
+		Driver:      driver,
+		Schema:      stdSchema,
+		Seed:        42,
+		Events:      400,
+		Profiles:    80,
+		EventShapes: map[string]string{"temperature": "d14", "humidity": "gauss"},
+		HotKeys:     &HotKeySpec{Attr: "temperature", P: 0.5, K: 8, S: 1.2},
+	}
+}
+
+// runDriver builds the plan and runs it through the scenario's driver.
+func runDriver(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDriversAgree runs one identical plan through every synchronous
+// driver: the raw engine, the sharded engine, the full service and the TCP
+// wire path must produce the same matched totals — the oracle that the
+// harness measures the same workload no matter which layer is under load.
+func TestDriversAgree(t *testing.T) {
+	oracle := runDriver(t, tinyScenario("engine"))
+	if oracle.Workload.MatchedTotal == 0 {
+		t.Fatal("oracle matched nothing; the scenario is degenerate")
+	}
+	for _, driver := range []string{"sharded", "service", "wire"} {
+		sc := tinyScenario(driver)
+		sc.Name = oracle.Name // plans depend only on the workload fields
+		res := runDriver(t, sc)
+		if res.Workload.MatchedTotal != oracle.Workload.MatchedTotal ||
+			res.Workload.WarmupMatched != oracle.Workload.WarmupMatched {
+			t.Errorf("%s matched %d+%d, engine matched %d+%d", driver,
+				res.Workload.MatchedTotal, res.Workload.WarmupMatched,
+				oracle.Workload.MatchedTotal, oracle.Workload.WarmupMatched)
+		}
+	}
+}
+
+// TestDriversAgreeBatched is the same oracle over the burst path.
+func TestDriversAgreeBatched(t *testing.T) {
+	sc := tinyScenario("engine")
+	sc.Batch = 32
+	oracle := runDriver(t, sc)
+	for _, driver := range []string{"sharded", "service", "wire"} {
+		scd := sc
+		scd.Driver = driver
+		res := runDriver(t, scd)
+		if res.Workload.MatchedTotal != oracle.Workload.MatchedTotal {
+			t.Errorf("%s batch-matched %d, engine matched %d", driver,
+				res.Workload.MatchedTotal, oracle.Workload.MatchedTotal)
+		}
+	}
+}
+
+// TestFederationEndToEnd is the distributed oracle: events enter a
+// four-daemon chain at the head, every subscription sits three TCP hops
+// away, and the tail must deliver exactly the notifications a single
+// engine would match — total delivered equals the engine's matched count
+// (timed stream plus warmup), with a nonzero forwarded tally proving the
+// events really crossed the links.
+func TestFederationEndToEnd(t *testing.T) {
+	engine := runDriver(t, tinyScenario("engine"))
+	expected := uint64(engine.Workload.MatchedTotal + engine.Workload.WarmupMatched)
+
+	sc := tinyScenario("federation")
+	sc.Hops = 3
+	res := runDriver(t, sc)
+	if res.Workload.MatchedTotal != 0 {
+		t.Errorf("head-local matches %d, want 0 (all subscribers sit at the tail)",
+			res.Workload.MatchedTotal)
+	}
+	if res.Workload.Counters.Delivered != expected {
+		t.Errorf("tail delivered %d notifications, engine oracle says %d",
+			res.Workload.Counters.Delivered, expected)
+	}
+	if res.Workload.Counters.Forwarded == 0 {
+		t.Error("no events crossed a link; the chain was not exercised")
+	}
+}
+
+// TestChurnRun exercises the churn path end to end on the service driver
+// and checks the run reports the plan's churn volume.
+func TestChurnRun(t *testing.T) {
+	sc := tinyScenario("service")
+	sc.Churn = &ChurnSpec{Every: 100, Ops: 10}
+	res := runDriver(t, sc)
+	plan, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload.ChurnOps != plan.ChurnOps() {
+		t.Errorf("run reported %d churn ops, plan has %d", res.Workload.ChurnOps, plan.ChurnOps())
+	}
+	if res.Workload.ChurnOps == 0 {
+		t.Error("churn scenario performed no churn")
+	}
+}
+
+// TestChurnOverWireAndFederation drives the churn path through the
+// remaining asynchronous drivers: subscription turnover must work over the
+// wire protocol and withdraw routes across a federation link.
+func TestChurnOverWireAndFederation(t *testing.T) {
+	for _, driver := range []string{"wire", "federation"} {
+		sc := tinyScenario(driver)
+		sc.Events = 300
+		sc.Hops = 1
+		sc.Churn = &ChurnSpec{Every: 100, Ops: 5}
+		res := runDriver(t, sc)
+		if res.Workload.ChurnOps == 0 {
+			t.Errorf("%s: churn scenario performed no churn", driver)
+		}
+	}
+}
+
+// TestFederationBatched covers the burst path through the chain: batched
+// head publishes forward per event and the tail still delivers.
+func TestFederationBatched(t *testing.T) {
+	sc := tinyScenario("federation")
+	sc.Batch = 32
+	sc.Hops = 2
+	res := runDriver(t, sc)
+	if res.Workload.Counters.Delivered == 0 {
+		t.Error("batched federation delivered nothing")
+	}
+	if res.Workload.Counters.Forwarded == 0 {
+		t.Error("batched federation forwarded nothing")
+	}
+}
+
+// TestAdaptiveServiceRun covers the adaptive service configuration.
+func TestAdaptiveServiceRun(t *testing.T) {
+	sc := tinyScenario("service")
+	sc.Adaptive = true
+	res := runDriver(t, sc)
+	if res.Workload.MatchedTotal == 0 {
+		t.Fatal("adaptive run matched nothing")
+	}
+}
+
+// TestEngineChurnUnsubscribeError pins the churn error path: removing an
+// unknown id must surface, not vanish.
+func TestEngineChurnUnsubscribeError(t *testing.T) {
+	sc := tinyScenario("engine")
+	plan, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := OpenDriver(sc, plan.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drv.Close()
+	if err := drv.Unsubscribe("never-subscribed"); err == nil {
+		t.Error("Unsubscribe of an unknown id succeeded")
+	}
+}

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"genas/internal/broker"
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/wire"
+)
+
+// wireTimeout bounds every client round trip; load runs are local, so a
+// stall this long is a failure, not congestion.
+const wireTimeout = 30 * time.Second
+
+// wireDriver measures the full TCP path: an in-process daemon-equivalent
+// (broker + wire.Server on a loopback listener) spoken to through the wire
+// client, so frame encoding, the socket and response demultiplexing are all
+// inside the measured publish latency.
+type wireDriver struct {
+	brk    *broker.Broker
+	srv    *wire.Server
+	client *wire.Client
+	sch    *schema.Schema
+	names  []string // event payload key per attribute index
+
+	serveDone chan struct{}
+}
+
+func newWireDriver(sch *schema.Schema) (*wireDriver, error) {
+	brk, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		return nil, err
+	}
+	srv := wire.NewServer(brk, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		brk.Close()
+		return nil, err
+	}
+	d := &wireDriver{brk: brk, srv: srv, sch: sch, serveDone: make(chan struct{})}
+	d.names = make([]string, sch.N())
+	for i := 0; i < sch.N(); i++ {
+		d.names[i] = sch.At(i).Name
+	}
+	go func() {
+		defer close(d.serveDone)
+		_ = srv.Serve(context.Background(), ln)
+	}()
+	client, err := wire.Dial(ln.Addr().String(), wireTimeout)
+	if err != nil {
+		srv.Close()
+		<-d.serveDone
+		brk.Close()
+		return nil, err
+	}
+	d.client = client
+	// The server forwards every notification down this connection; a reader
+	// must drain them or the client's demultiplexer starts dropping.
+	go func() {
+		for range client.Notifications() {
+		}
+	}()
+	return d, nil
+}
+
+func (d *wireDriver) Name() string { return "wire" }
+
+func (d *wireDriver) Subscribe(p *predicate.Profile) error {
+	return d.client.Subscribe(string(p.ID), p.Render(d.sch), p.Priority, wireTimeout)
+}
+
+func (d *wireDriver) Unsubscribe(id predicate.ID) error {
+	return d.client.Unsubscribe(string(id), wireTimeout)
+}
+
+// payload builds the name→value map a publish frame carries. The per-event
+// map is part of the protocol cost being measured.
+func (d *wireDriver) payload(vals []float64) map[string]float64 {
+	m := make(map[string]float64, len(vals))
+	for i, v := range vals {
+		m[d.names[i]] = v
+	}
+	return m
+}
+
+func (d *wireDriver) Publish(vals []float64) (int, error) {
+	return d.client.Publish(d.payload(vals), wireTimeout)
+}
+
+func (d *wireDriver) PublishBatch(batch [][]float64) (int, error) {
+	evs := make([]map[string]float64, len(batch))
+	for i, vals := range batch {
+		evs[i] = d.payload(vals)
+	}
+	counts, err := d.client.PublishBatch(evs, wireTimeout)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Drain waits until the broker's delivered tally stops moving: publish
+// round trips are synchronous, but notification forwarding is not.
+func (d *wireDriver) Drain() (Counters, error) {
+	waitStable(func() uint64 { return d.brk.Stats().Delivered })
+	return Counters{Delivered: d.brk.Stats().Delivered}, nil
+}
+
+func (d *wireDriver) Close() error {
+	err := d.client.Close()
+	d.srv.Close()
+	<-d.serveDone
+	d.brk.Close()
+	return err
+}
