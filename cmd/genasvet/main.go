@@ -1,0 +1,74 @@
+// Command genasvet runs the genas-specific static analysis suite
+// (internal/lint) over the module: locksafe, hotpath, senterr, and
+// ctxleak. It is the CI gate that keeps the repo's concurrency,
+// allocation, and error-wrapping invariants mechanical instead of
+// tribal.
+//
+// Usage:
+//
+//	go run ./cmd/genasvet [-run analyzer[,analyzer]] [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. The exit
+// status is 1 when any diagnostic survives suppression, 2 on usage or
+// load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"genas/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genasvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runNames := fs.String("run", "", "comma-separated analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: genasvet [-run analyzer[,analyzer]] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.ByName(*runNames)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "genasvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,7 +1,6 @@
 package genas
 
 import (
-	"errors"
 	"fmt"
 
 	"genas/internal/broker"
@@ -57,7 +56,7 @@ func (s *Service) MonitorComposite(
 	buffer int,
 ) (*CompositeMonitor, error) {
 	if len(primitives) == 0 {
-		return nil, errors.New("genas: composite monitor needs primitive profiles")
+		return nil, fmt.Errorf("genas: composite monitor needs primitive profiles: %w", ErrBadProfile)
 	}
 	if buffer <= 0 {
 		buffer = 64

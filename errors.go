@@ -22,4 +22,13 @@ var (
 	ErrClosed = sentinel.ErrClosed
 	// ErrBadBuffer reports a non-positive notification buffer size.
 	ErrBadBuffer = sentinel.ErrBadBuffer
+	// ErrArity reports an event whose value count does not match the
+	// schema (too few, too many, or unfilled defaults).
+	ErrArity = sentinel.ErrArity
+	// ErrBadSchema reports an invalid schema or domain construction: no
+	// attributes, duplicate names, or a malformed domain.
+	ErrBadSchema = sentinel.ErrBadSchema
+	// ErrBadProfile reports an invalid profile construction: no
+	// predicates, or a malformed predicate.
+	ErrBadProfile = sentinel.ErrBadProfile
 )

@@ -1,0 +1,84 @@
+package genas
+
+import (
+	"errors"
+	"testing"
+
+	"genas/internal/sentinel"
+)
+
+// TestReexportsMatchSentinels pins the facade contract: every public
+// genas.Err* value errors.Is-matches its internal/sentinel counterpart, so
+// wrapping at any internal layer stays matchable through the facade.
+func TestReexportsMatchSentinels(t *testing.T) {
+	cases := []struct {
+		name     string
+		public   error
+		internal error
+	}{
+		{"ErrUnknownAttribute", ErrUnknownAttribute, sentinel.ErrUnknownAttribute},
+		{"ErrOutOfDomain", ErrOutOfDomain, sentinel.ErrOutOfDomain},
+		{"ErrDuplicateID", ErrDuplicateID, sentinel.ErrDuplicateID},
+		{"ErrUnknownID", ErrUnknownID, sentinel.ErrUnknownID},
+		{"ErrClosed", ErrClosed, sentinel.ErrClosed},
+		{"ErrBadBuffer", ErrBadBuffer, sentinel.ErrBadBuffer},
+		{"ErrArity", ErrArity, sentinel.ErrArity},
+		{"ErrBadSchema", ErrBadSchema, sentinel.ErrBadSchema},
+		{"ErrBadProfile", ErrBadProfile, sentinel.ErrBadProfile},
+	}
+	for _, tc := range cases {
+		if !errors.Is(tc.public, tc.internal) {
+			t.Errorf("errors.Is(genas.%s, sentinel.%s) = false", tc.name, tc.name)
+		}
+		if !errors.Is(tc.internal, tc.public) {
+			t.Errorf("errors.Is(sentinel.%s, genas.%s) = false", tc.name, tc.name)
+		}
+	}
+}
+
+// TestErrorPathsAreMatchable drives real failure paths end to end and
+// asserts the returned errors match the public sentinels. ErrArity is the
+// PR 6 case: before the senterr sweep, a wrong-arity Publish returned an
+// error nothing public could errors.Is-match.
+func TestErrorPathsAreMatchable(t *testing.T) {
+	sch := MustSchema(
+		Attr("temperature", MustNumericDomain(-30, 50)),
+		Attr("humidity", MustNumericDomain(0, 100)),
+	)
+	svc, err := NewService(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	t.Run("ErrArity/PublishValues", func(t *testing.T) {
+		if _, err := svc.PublishValues(20); !errors.Is(err, ErrArity) {
+			t.Errorf("PublishValues(1 of 2 values) = %v, want errors.Is ErrArity", err)
+		}
+	})
+	t.Run("ErrArity/builder", func(t *testing.T) {
+		if _, err := svc.NewEvent().Set("temperature", 20).Publish(); !errors.Is(err, ErrArity) {
+			t.Errorf("builder publish with missing attribute = %v, want errors.Is ErrArity", err)
+		}
+	})
+	t.Run("ErrBadSchema/empty", func(t *testing.T) {
+		if _, err := NewSchema(); !errors.Is(err, ErrBadSchema) {
+			t.Errorf("NewSchema() = %v, want errors.Is ErrBadSchema", err)
+		}
+	})
+	t.Run("ErrBadSchema/domain", func(t *testing.T) {
+		if _, err := NewNumericDomain(5, 5); !errors.Is(err, ErrBadSchema) {
+			t.Errorf("NewNumericDomain(5, 5) = %v, want errors.Is ErrBadSchema", err)
+		}
+	})
+	t.Run("ErrBadProfile/empty", func(t *testing.T) {
+		if _, err := NewProfile("p").Build(sch); !errors.Is(err, ErrBadProfile) {
+			t.Errorf("empty profile Build = %v, want errors.Is ErrBadProfile", err)
+		}
+	})
+	t.Run("ErrUnknownAttribute", func(t *testing.T) {
+		if _, err := svc.Publish(map[string]float64{"pressure": 1}); !errors.Is(err, ErrUnknownAttribute) {
+			t.Errorf("Publish with unknown attribute = %v, want errors.Is ErrUnknownAttribute", err)
+		}
+	})
+}

@@ -53,6 +53,8 @@ func (s *Service) NewEvent() *EventBuilder {
 }
 
 // Set assigns one attribute by name.
+//
+//genas:hotpath
 func (b *EventBuilder) Set(name string, v float64) *EventBuilder {
 	if b.err != nil {
 		return b
@@ -89,11 +91,14 @@ func (b *EventBuilder) SetLabel(name, label string) *EventBuilder {
 
 // Values assigns every attribute positionally in schema order — the fastest
 // assembly path for publishers that already hold values in schema order.
+//
+//genas:hotpath
 func (b *EventBuilder) Values(vals ...float64) *EventBuilder {
 	if b.err != nil {
 		return b
 	}
 	if len(vals) != b.sch.N() {
+		//genas:allow hotpath cold arity-error branch; well-formed events assign without allocating
 		b.err = fmt.Errorf("%w: got %d values for %d attributes", event.ErrArity, len(vals), b.sch.N())
 		return b
 	}
@@ -123,6 +128,8 @@ func (b *EventBuilder) Reset() *EventBuilder {
 }
 
 // finalize applies defaults and validates the assembled values in place.
+//
+//genas:hotpath
 func (b *EventBuilder) finalize() error {
 	if b.err != nil {
 		return b.err
@@ -132,6 +139,7 @@ func (b *EventBuilder) finalize() error {
 		d = b.svc.defaults
 	}
 	if missing := d.Fill(b.vals, b.seen); missing > 0 {
+		//genas:allow hotpath cold arity-error branch; fully-specified events skip it
 		return fmt.Errorf("%w: event specifies %d of %d attributes",
 			event.ErrArity, b.sch.N()-missing, b.sch.N())
 	}
@@ -173,9 +181,15 @@ func (b *EventBuilder) PublishCtx(ctx context.Context) (int, error) {
 	return b.publish(ctx)
 }
 
+// publish is the shared Publish/PublishCtx body. Untimestamped events hand
+// the builder's buffer straight to the broker's values path; timestamped
+// ones copy (the delivered event must outlive the buffer).
+//
+//genas:hotpath
 func (b *EventBuilder) publish(ctx context.Context) (int, error) {
 	defer b.Reset()
 	if b.svc == nil {
+		//genas:allow senterr API misuse (zero-value builder), not a runtime condition callers should errors.Is-match
 		return 0, errors.New("genas: event builder is not bound to a service; use Service.NewEvent")
 	}
 	if err := b.finalize(); err != nil {

@@ -299,6 +299,7 @@ func parseValueMeasure(name string) (core.ValueMeasure, error) {
 	case "event*profile-asc":
 		return core.ValueCombinedAsc, nil
 	default:
+		//genas:allow senterr construction-time config validation; misspelled option names are not a matchable runtime condition
 		return 0, fmt.Errorf("genas: unknown value measure %q", name)
 	}
 }
@@ -459,6 +460,8 @@ func (s *Service) PublishCtx(ctx context.Context, values map[string]float64) (in
 // during matching, and the event value materializes only when at least one
 // profile matched. WithDefaults does not apply (every value is present by
 // construction).
+//
+//genas:hotpath
 func (s *Service) PublishValues(vals ...float64) (int, error) {
 	if err := s.validateVals(vals); err != nil {
 		return 0, err
@@ -468,6 +471,8 @@ func (s *Service) PublishValues(vals ...float64) (int, error) {
 
 // PublishValuesCtx is PublishValues with a cancellation context (see
 // PublishCtx).
+//
+//genas:hotpath
 func (s *Service) PublishValuesCtx(ctx context.Context, vals ...float64) (int, error) {
 	if err := s.validateVals(vals); err != nil {
 		return 0, err
@@ -475,8 +480,10 @@ func (s *Service) PublishValuesCtx(ctx context.Context, vals ...float64) (int, e
 	return s.brk.PublishValuesCtx(ctx, vals)
 }
 
+//genas:hotpath
 func (s *Service) validateVals(vals []float64) error {
 	if len(vals) != s.sch.N() {
+		//genas:allow hotpath cold arity-error branch; the steady-state event passes validation without allocating
 		return fmt.Errorf("%w: got %d values for %d attributes", event.ErrArity, len(vals), s.sch.N())
 	}
 	for i := range vals {

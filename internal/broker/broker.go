@@ -524,12 +524,16 @@ func (b *Broker) publish(ev event.Event, cancel <-chan struct{}) (int, error) {
 // matched. The caller may reuse the slice immediately after the call, so a
 // steady-state publisher allocates nothing for the non-matching events — the
 // overwhelming majority under the paper's workloads.
+//
+//genas:hotpath
 func (b *Broker) PublishValues(vals []float64) (int, error) {
 	return b.publishValues(vals, nil)
 }
 
 // PublishValuesCtx is PublishValues with a cancellation context (see
 // PublishCtx).
+//
+//genas:hotpath
 func (b *Broker) PublishValuesCtx(ctx context.Context, vals []float64) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
@@ -537,8 +541,14 @@ func (b *Broker) PublishValuesCtx(ctx context.Context, vals []float64) (int, err
 	return b.publishValues(vals, ctx.Done())
 }
 
+// publishValues is the zero-allocation filter path: nothing on the miss
+// branch allocates, and the event value (with its own copy of vals)
+// materializes only after at least one profile matched.
+//
+//genas:hotpath
 func (b *Broker) publishValues(vals []float64, cancel <-chan struct{}) (int, error) {
 	if len(vals) != b.schema.N() {
+		//genas:allow hotpath cold arity-error branch; well-formed events pass without allocating
 		return 0, fmt.Errorf("%w: got %d values for %d attributes",
 			event.ErrArity, len(vals), b.schema.N())
 	}
@@ -744,6 +754,7 @@ func (s *Subscription) blockingSend(n Notification, cancel <-chan struct{}) bool
 		// this outcome — the caller's else-branch handles it.
 		return false
 	}
+	//genas:allow locksafe sendMu is the close fence, not a shard lock: the blocking wait under its read side is this function's contract
 	select {
 	case s.shared.ch <- n:
 		s.delivered.Add(1)

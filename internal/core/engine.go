@@ -371,6 +371,8 @@ func (e *Engine) SetConfig(cfg Config) {
 // spent. The tree is rebuilt transparently if profiles changed. IDs are
 // resolved against the same automaton snapshot that produced the match, so
 // concurrent profile churn cannot skew the translation.
+//
+//genas:hotpath
 func (e *Engine) Match(vals []float64) ([]predicate.ID, int, error) {
 	ids, ops, empty, err := e.matchIDs(vals, nil)
 	if err != nil || empty {
@@ -385,6 +387,8 @@ func (e *Engine) Match(vals []float64) ([]predicate.ID, int, error) {
 // accounts once per event at the top level. empty reports that the engine
 // holds no profiles (which matches nothing and does not count as a filtered
 // event).
+//
+//genas:hotpath
 func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.ID, ops int, empty bool, err error) {
 	t, release, err := e.acquire()
 	if errors.Is(err, ErrNoProfiles) {
@@ -409,6 +413,8 @@ func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.I
 // MatchDense is Match returning dense indices into the tree snapshot (hot
 // path; avoids the ID materialization). The indices are only meaningful
 // against Tree().Profiles() of the same snapshot.
+//
+//genas:hotpath
 func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
 	t, release, err := e.acquire()
 	if errors.Is(err, ErrNoProfiles) {
@@ -427,7 +433,12 @@ func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
 // rebuilding first when profiles changed since the last build. The caller
 // must invoke release when done traversing: Reorder applies value orders to
 // the live tree in place, so matches must exclude writers for their whole
-// traversal, not only while fetching the root pointer.
+// traversal, not only while fetching the root pointer. The release
+// functions are the runlock/unlock fields bound once at construction —
+// returning a fresh method value here would put one closure allocation on
+// every match (the PR 3 regression hotpath now guards against).
+//
+//genas:hotpath
 func (e *Engine) acquire() (*tree.Tree, func(), error) {
 	e.mu.RLock()
 	if !e.dirty && e.tree != nil {

@@ -148,6 +148,8 @@ func (sh *Sharded) record(ops, matched int) {
 // per-shard matches are far cheaper than cross-goroutine handoff, so
 // parallelism comes from concurrent publishers (and from MatchBatch, which
 // fans events out across workers).
+//
+//genas:hotpath
 func (sh *Sharded) Match(vals []float64) ([]predicate.ID, int, error) {
 	ids := make([]predicate.ID, 0, 8)
 	ops := 0

@@ -10,11 +10,14 @@ import (
 	"time"
 
 	"genas/internal/schema"
+	"genas/internal/sentinel"
 )
 
-// Errors reported by event construction and parsing.
+// Errors reported by event construction and parsing. ErrArity wraps the
+// public sentinel so arity mismatches stay errors.Is-matchable through the
+// genas facade (genasvet: senterr).
 var (
-	ErrArity  = errors.New("event: value count does not match schema")
+	ErrArity  = fmt.Errorf("event: %w", sentinel.ErrArity)
 	ErrSyntax = errors.New("event: syntax error")
 )
 

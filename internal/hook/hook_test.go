@@ -1,0 +1,78 @@
+package hook_test
+
+import (
+	"testing"
+
+	"genas"
+	"genas/internal/hook"
+)
+
+// The hook accessors are installed by package genas at init time; importing
+// genas above is what arms them. These tests pin the contract the wire
+// server and experiment harness rely on: the accessors are non-nil after
+// init, resolve a *genas.Service to its broker and defaults, and panic on
+// anything else.
+
+func newService(t *testing.T, opts ...genas.Option) *genas.Service {
+	t.Helper()
+	sch := genas.MustSchema(
+		genas.Attr("temperature", genas.MustNumericDomain(-30, 50)),
+		genas.Attr("humidity", genas.MustNumericDomain(0, 100)),
+	)
+	svc, err := genas.NewService(sch, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc
+}
+
+func TestAccessorsInstalled(t *testing.T) {
+	if hook.BrokerOf == nil || hook.DefaultsOf == nil {
+		t.Fatal("hook accessors not installed by genas init")
+	}
+}
+
+func TestBrokerOf(t *testing.T) {
+	svc := newService(t)
+	brk := hook.BrokerOf(svc)
+	if brk == nil {
+		t.Fatal("BrokerOf returned nil for a live service")
+	}
+	// The broker is the service's own: publishing through the facade is
+	// visible in the broker's stats.
+	if _, err := svc.PublishValues(20, 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := brk.Stats().Published; got != 1 {
+		t.Fatalf("broker saw %d published events, want 1", got)
+	}
+}
+
+func TestDefaultsOf(t *testing.T) {
+	bare := newService(t)
+	if d := hook.DefaultsOf(bare); d != nil {
+		t.Fatalf("DefaultsOf = %v for a service without WithDefaults, want nil", d)
+	}
+
+	svc := newService(t, genas.WithDefaults(map[string]float64{"humidity": 40}))
+	if d := hook.DefaultsOf(svc); d == nil {
+		t.Fatal("DefaultsOf returned nil for a service configured with WithDefaults")
+	}
+}
+
+func TestPanicsOnForeignValue(t *testing.T) {
+	for name, call := range map[string]func(){
+		"BrokerOf":   func() { hook.BrokerOf(42) },
+		"DefaultsOf": func() { hook.DefaultsOf("not a service") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on a non-service value", name)
+				}
+			}()
+			call()
+		})
+	}
+}

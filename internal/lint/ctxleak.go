@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLeak keeps context plumbing honest in library packages: when a
+// function already receives a context.Context it must not mint a fresh
+// root with context.Background() or context.TODO() (severing cancellation
+// from the caller), and it must not drop the received context entirely
+// while performing known-blocking work (the shape where a PublishCtx
+// variant quietly degrades to Publish). Package main and test files are
+// exempt — commands and tests are where roots legitimately start.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "library code must thread a received context.Context, not replace or drop it",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return
+	}
+	for fn, fd := range declaredFuncs(pass) {
+		pos := pass.Fset.Position(fd.Pos())
+		if isTestFile(pos.Filename) {
+			continue
+		}
+		ctxParams := contextParams(pass, fd)
+		if len(ctxParams) == 0 {
+			continue
+		}
+		checkFreshRoots(pass, fd)
+		checkDroppedCtx(pass, fn, fd, ctxParams)
+	}
+}
+
+// contextParams returns the declared context.Context parameters of fd.
+func contextParams(pass *Pass, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, ok := pass.Info.Defs[name].(*types.Var)
+			if ok && isContextType(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// checkFreshRoots flags context.Background()/context.TODO() calls in a
+// function that already has a context parameter in scope. Function
+// literals are included: a closure spawned from a ctx-carrying function
+// still has the ctx in scope.
+func checkFreshRoots(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(call.Pos(), "context.%s() with a ctx parameter in scope severs cancellation; thread the parameter", fn.Name())
+		}
+		return true
+	})
+}
+
+// checkDroppedCtx flags a function whose context parameter is named but
+// never referenced while the body performs a known-blocking operation
+// (locksafe's seed set): the caller's deadline silently stops applying. A
+// parameter named _ is an explicit statement that dropping is intended.
+func checkDroppedCtx(pass *Pass, fn *types.Func, fd *ast.FuncDecl, ctxParams []*types.Var) {
+	used := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+			used[v] = true
+		}
+		return true
+	})
+	var dropped *types.Var
+	for _, p := range ctxParams {
+		if p.Name() != "_" && p.Name() != "" && !used[p] {
+			dropped = p
+			break
+		}
+	}
+	if dropped == nil {
+		return
+	}
+	reported := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(pass.Info, call)
+		if callee == nil {
+			return true
+		}
+		if why, blocking := locksafeSeeds[funcFullName(callee)]; blocking {
+			pass.Reportf(call.Pos(), "%s drops its %s parameter before blocking work (%s)", fn.Name(), dropped.Name(), why)
+			reported = true
+			return false
+		}
+		return true
+	})
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness is a miniature analysistest: each analyzer has a
+// directory under testdata/src/<name> whose packages are type-checked and
+// analyzed, and every expected finding is marked in the source with a
+//
+//	// want "substring"
+//
+// comment on the offending line. Unmatched wants and unwanted diagnostics
+// both fail the test. Standard-library imports resolve through compiler
+// export data (`go list -export`); fixture-internal imports (the senterr
+// sentinel package) resolve against the fixture packages themselves.
+
+// fixturePkg declares one fixture package: the import path the analyzers
+// see and the directory its sources live in.
+type fixturePkg struct {
+	path string
+	dir  string
+}
+
+// stdExports lazily loads export data for the dependency closure the
+// fixtures import.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	listed, err := goList(".", []string{"errors", "fmt", "sync", "context", "net", "time", "bufio", "strings"})
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+})
+
+// fixtureImporter resolves fixture-local packages before falling back to
+// export data.
+type fixtureImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.local[path]; ok {
+		return p, nil
+	}
+	return fi.fallback.Import(path)
+}
+
+// loadFixture parses and type-checks the given packages, in order (earlier
+// packages are importable by later ones).
+func loadFixture(t *testing.T, pkgs []fixturePkg) []*Package {
+	t.Helper()
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		local:    make(map[string]*types.Package),
+		fallback: exportImporter(fset, exports),
+	}
+	var out []*Package
+	for _, fp := range pkgs {
+		entries, err := os.ReadDir(fp.dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(fp.dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		cfg := types.Config{Importer: imp}
+		tpkg, err := cfg.Check(fp.path, fset, files, info)
+		if err != nil {
+			t.Fatalf("typecheck %s: %v", fp.path, err)
+		}
+		imp.local[fp.path] = tpkg
+		out = append(out, &Package{
+			Path:  fp.path,
+			Dir:   fp.dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return out
+}
+
+var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+
+// collectWants scans fixture sources for // want "substr" markers, keyed by
+// file:line.
+func collectWants(t *testing.T, pkgs []*Package) map[string][]string {
+	t.Helper()
+	wants := make(map[string][]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				substr, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want marker: %v", name, i+1, err)
+				}
+				// A marker on a line of its own refers to the line above
+				// (needed when the offending line is itself a comment,
+				// like a malformed allow directive).
+				wantLine := i + 1
+				if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
+					wantLine = i
+				}
+				key := fmt.Sprintf("%s:%d", name, wantLine)
+				wants[key] = append(wants[key], substr)
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture analyzes the packages and matches diagnostics against want
+// markers.
+func runFixture(t *testing.T, a *Analyzer, pkgs []fixturePkg) {
+	t.Helper()
+	loaded := loadFixture(t, pkgs)
+	wants := collectWants(t, loaded)
+	diags := Run(loaded, []*Analyzer{a})
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		ws := wants[key]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[key] = append(ws[:matched], ws[matched+1:]...)
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			t.Errorf("%s: expected diagnostic containing %q, got none", k, w)
+		}
+	}
+}
+
+// fixtureDir resolves testdata/src/<name>.
+func fixtureDir(name string) string { return filepath.Join("testdata", "src", name) }
+
+func TestLockSafeFixture(t *testing.T) {
+	runFixture(t, LockSafe, []fixturePkg{{path: "fix/locksafe", dir: fixtureDir("locksafe")}})
+}
+
+func TestHotPathFixture(t *testing.T) {
+	runFixture(t, HotPath, []fixturePkg{{path: "fix/hotpath", dir: fixtureDir("hotpath")}})
+}
+
+func TestSentErrFixture(t *testing.T) {
+	runFixture(t, SentErr, []fixturePkg{
+		{path: "genas/internal/sentinel", dir: fixtureDir(filepath.Join("senterr", "sentinel"))},
+		{path: "genas/internal/event", dir: fixtureDir(filepath.Join("senterr", "event"))},
+		{path: "genas", dir: fixtureDir(filepath.Join("senterr", "root"))},
+		{path: "genas/internal/schema", dir: fixtureDir(filepath.Join("senterr", "schema"))},
+	})
+}
+
+func TestCtxLeakFixture(t *testing.T) {
+	runFixture(t, CtxLeak, []fixturePkg{{path: "fix/ctxleak", dir: fixtureDir("ctxleak")}})
+}
+
+// TestAllowDirectiveNeedsReason covers the pseudo-analyzer diagnostic for a
+// malformed suppression.
+func TestAllowDirectiveNeedsReason(t *testing.T) {
+	runFixture(t, HotPath, []fixturePkg{{path: "fix/badallow", dir: fixtureDir("badallow")}})
+}

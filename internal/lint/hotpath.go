@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath enforces the zero-allocation publish path: a function annotated
+// with a //genas:hotpath doc-comment line may not contain map, slice, or
+// struct-pointer composite literals, string concatenation, fmt calls,
+// closure allocations (function literals and bound method values — the
+// Engine.acquire shape PR 3 hoisted into fields), or implicit interface
+// conversions boxing a non-pointer value. Cold branches inside a hot
+// function (error paths) carry //genas:allow hotpath suppressions with the
+// reason; the allocation ceiling itself is enforced end-to-end by
+// TestPublishPathAllocations.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//genas:hotpath functions must not allocate: no literals, fmt, closures, or interface boxing",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, fd := range hotpathFuncs(pass) {
+		checkHotBody(pass, fd.Body)
+	}
+}
+
+// hotpathFuncs yields the function declarations annotated //genas:hotpath.
+func hotpathFuncs(pass *Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, HotpathMarker) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+func checkHotBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+
+	// Selector expressions that are the operator of a call are method
+	// invocations, not bound method values.
+	invoked := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			invoked[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates on the hot path")
+			return false
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates on the hot path")
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && isString(tv.Type) && tv.Value == nil {
+					pass.Reportf(n.OpPos, "string concatenation allocates on the hot path")
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if invoked[n] {
+				return true
+			}
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				pass.Reportf(n.Pos(), "bound method value %s.%s allocates on the hot path; hoist it to a field", exprString(n.X), n.Sel.Name)
+			}
+			return true
+		case *ast.CallExpr:
+			if fn := staticCallee(info, n); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					pass.Reportf(n.Pos(), "fmt.%s allocates on the hot path", fn.Name())
+					return true
+				}
+				checkBoxedArgs(pass, n, fn)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// checkBoxedArgs flags arguments implicitly converted to an interface type
+// from a concrete non-pointer type: the conversion boxes the value onto the
+// heap. Pointer, interface, and nil arguments convert without allocating.
+func checkBoxedArgs(pass *Pass, call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		tv, found := pass.Info.Types[arg]
+		if !found || tv.IsNil() {
+			continue
+		}
+		at := tv.Type.Underlying()
+		if types.IsInterface(tv.Type) {
+			continue
+		}
+		if _, isPtr := at.(*types.Pointer); isPtr {
+			continue
+		}
+		if _, isChan := at.(*types.Chan); isChan {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into %s on the hot path", tv.Type.String(), paramType.String())
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

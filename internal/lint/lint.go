@@ -1,0 +1,193 @@
+// Package lint is genasvet's analysis suite: project-specific static
+// checks that mechanically enforce the invariants the engine's throughput
+// depends on — no blocking work under shard/broker locks (locksafe), a
+// zero-allocation publish hot path (hotpath), sentinel-wrapped errors on
+// the public surface (senterr), and no context misuse in library code
+// (ctxleak).
+//
+// The framework is a deliberately small, dependency-free analogue of
+// golang.org/x/tools/go/analysis (which this module does not vendor):
+// packages are parsed with go/parser, type-checked with go/types against
+// compiler export data obtained from `go list -export`, and each Analyzer
+// walks the typed syntax reporting Diagnostics. Findings are suppressed
+// line-by-line with
+//
+//	//genas:allow <analyzer> <reason>
+//
+// placed on, or on the line above, the offending line. The reason is
+// mandatory: an allow directive without one is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Shared persists across the packages of one run (per analyzer),
+	// visited in dependency order: analyzers use it to publish facts about
+	// a package (e.g. which error values wrap a sentinel) that checks in
+	// downstream packages consume.
+	Shared map[string]any
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// AllowPrefix introduces a suppression comment; DirectivePrefix covers every
+// genasvet source directive (hotpath annotations included).
+const (
+	DirectivePrefix = "//genas:"
+	AllowPrefix     = "//genas:allow"
+	HotpathMarker   = "//genas:hotpath"
+)
+
+// allowKey identifies one suppression: an analyzer name on a source line.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans a file's comments for allow directives. A directive
+// suppresses matching diagnostics on its own line and on the following
+// line (so it can sit above the statement it excuses). Malformed
+// directives are returned as diagnostics of the pseudo-analyzer
+// "genasvet".
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
+	allows := make(map[allowKey]bool)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, AllowPrefix)
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "genasvet",
+						Message:  "allow directive needs an analyzer name and a reason: //genas:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					allows[allowKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Analyzers returns the full genasvet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{LockSafe, HotPath, SentErr, CtxLeak}
+}
+
+// ByName resolves a comma-separated analyzer selection against the suite.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over every package, in dependency order, and
+// returns the surviving (unsuppressed) diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	shared := make(map[*Analyzer]map[string]any, len(analyzers))
+	for _, a := range analyzers {
+		shared[a] = make(map[string]any)
+	}
+	for _, pkg := range pkgs {
+		allows, bad := collectAllows(pkg.Fset, pkg.Files)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Shared:   shared[a],
+			}
+			pass.report = func(d Diagnostic) {
+				if allows[allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
+					return
+				}
+				diags = append(diags, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

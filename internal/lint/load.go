@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one parsed, type-checked unit of analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Imports lists the package's direct imports (module-internal and
+	// external alike); the runner uses it to order packages so that fact
+	// producers run before their consumers.
+	Imports []string
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Name       string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir, returning every listed
+// package. -export populates each dependency's compiler export data file,
+// which is what lets the type checker resolve imports without loading
+// their source.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Imports,Name,DepOnly,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files `go list
+// -export` recorded, one shared instance per load so repeated imports
+// reuse the already-read package.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load lists patterns in dir (module root or below), parses the matched
+// packages from source and type-checks them against export data. Only the
+// packages named by the patterns are returned; dependencies are consumed
+// as export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		cfg := types.Config{Importer: imp}
+		tpkg, err := cfg.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %v", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:    lp.ImportPath,
+			Dir:     lp.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			Imports: lp.Imports,
+		})
+	}
+	sortByDependency(out)
+	return out, nil
+}
+
+// sortByDependency orders packages so that every package follows the
+// packages it imports (among those loaded): fact-producing analyzer passes
+// then run before the passes that consume their facts. The module graph is
+// acyclic, so a simple DFS suffices; ties keep a stable path order.
+func sortByDependency(pkgs []*Package) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	seen := make(map[string]bool, len(pkgs))
+	out := make([]*Package, 0, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	copy(pkgs, out)
+}

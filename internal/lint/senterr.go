@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// SentErr enforces the sentinel-error contract PR 3 established after
+// broker.ErrBadBufferSize leaked unmatchable: every error returned from
+// the public genas surface, or from an internal/broker or internal/schema
+// constructor, must be — or %w-wrap — one of the internal/sentinel
+// sentinels, so callers can errors.Is-match it through the facade
+// re-exports.
+//
+// The analyzer runs in dependency order and publishes a fact per
+// package-level error variable: whether its initializer bottoms out in a
+// sentinel. Downstream return sites consume the facts, so a naked
+// errors.New in internal/event is caught where the root package wraps and
+// returns it. Pass-through wraps of an error received from a call are
+// assumed compliant (the producing package is checked at its own return
+// sites).
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "errors crossing the public surface must wrap an internal/sentinel sentinel",
+	Run:  runSentErr,
+}
+
+// sentinelPkgSuffix identifies the sentinel-root package by import path.
+const sentinelPkgSuffix = "internal/sentinel"
+
+func runSentErr(pass *Pass) {
+	collectErrVarFacts(pass)
+
+	path := pass.Pkg.Path()
+	switch {
+	case path == "genas":
+		// Every function in the root package feeds the public surface.
+		for _, fd := range declaredFuncs(pass) {
+			checkErrorReturns(pass, fd)
+		}
+	case strings.HasSuffix(path, "internal/broker"), strings.HasSuffix(path, "internal/schema"):
+		// Constructors only: New* functions hand errors straight to the
+		// facade before any sentinel mapping can intervene.
+		for fn, fd := range declaredFuncs(pass) {
+			if strings.HasPrefix(fn.Name(), "New") && fn.Exported() {
+				checkErrorReturns(pass, fd)
+			}
+		}
+	}
+}
+
+// errVarFact keys a package-level error variable's compliance in
+// Pass.Shared: "errvar:<pkgpath>.<name>" -> bool.
+func errVarFact(pkgPath, name string) string { return "errvar:" + pkgPath + "." + name }
+
+// collectErrVarFacts records, for every package-level `var Err... =`
+// declaration of type error, whether the initializer wraps a sentinel. In
+// the sentinel package itself every error variable is a root.
+func collectErrVarFacts(pass *Pass) {
+	isRoot := strings.HasSuffix(pass.Pkg.Path(), sentinelPkgSuffix)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok || !isErrorType(obj.Type()) || obj.Parent() != pass.Pkg.Scope() {
+						continue
+					}
+					wraps := isRoot || wrapsSentinel(pass, vs.Values[i])
+					pass.Shared[errVarFact(pass.Pkg.Path(), name.Name)] = wraps
+				}
+			}
+		}
+	}
+}
+
+// wrapsSentinel reports whether an error expression is known to bottom out
+// in a sentinel: a reference to a fact-true variable, or a fmt.Errorf whose
+// format has a %w verb fed by a fact-true variable. Expressions about which
+// nothing is known (calls, locals) report false here — return-site checking
+// treats those as pass-through instead of consulting this directly.
+func wrapsSentinel(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if known, wraps := errVarStatus(pass, e); known {
+			return wraps
+		}
+		return false
+	case *ast.CallExpr:
+		fn := staticCallee(pass.Info, e)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+			return false
+		}
+		if len(e.Args) == 0 || !formatHasWrapVerb(e.Args[0]) {
+			return false
+		}
+		for _, arg := range e.Args[1:] {
+			if wrapsSentinel(pass, arg) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// errVarStatus resolves an expression to a package-level error variable's
+// fact: known reports whether a fact exists, wraps its value.
+func errVarStatus(pass *Pass, e ast.Expr) (known, wraps bool) {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[e.Sel]
+	default:
+		return false, false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false, false
+	}
+	fact, ok := pass.Shared[errVarFact(v.Pkg().Path(), v.Name())]
+	if !ok {
+		return false, false
+	}
+	return true, fact.(bool)
+}
+
+func formatHasWrapVerb(arg ast.Expr) bool {
+	lit, ok := ast.Unparen(arg).(*ast.BasicLit)
+	if !ok {
+		return false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return err == nil && strings.Contains(s, "%w")
+}
+
+// checkErrorReturns inspects every return statement of fd, flagging
+// error-position results that provably do not wrap a sentinel.
+func checkErrorReturns(pass *Pass, fd *ast.FuncDecl) {
+	sig, ok := pass.Info.Defs[fd.Name].Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	errIdx := make(map[int]bool)
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			errIdx[i] = true
+		}
+	}
+	if len(errIdx) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != sig.Results().Len() {
+			return true // bare return of named results: not tracked
+		}
+		for i, res := range ret.Results {
+			if errIdx[i] {
+				checkErrorExpr(pass, res)
+			}
+		}
+		return true
+	})
+}
+
+// checkErrorExpr flags e when it is provably non-compliant: an inline
+// errors.New, a fmt.Errorf with no %w (or whose %w wraps only known-naked
+// variables), or a reference to a known-naked package-level error variable.
+// Unknown shapes (call results, locals, nil) pass.
+func checkErrorExpr(pass *Pass, e ast.Expr) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if known, wraps := errVarStatus(pass, e); known && !wraps {
+			pass.Reportf(e.Pos(), "returns %s, which does not wrap an internal/sentinel sentinel", exprString(e))
+		}
+	case *ast.CallExpr:
+		fn := staticCallee(pass.Info, e)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		full := funcFullName(fn)
+		switch full {
+		case "errors.New":
+			pass.Reportf(e.Pos(), "returns a fresh errors.New error; wrap an internal/sentinel sentinel instead")
+		case "fmt.Errorf":
+			if len(e.Args) == 0 {
+				return
+			}
+			if !formatHasWrapVerb(e.Args[0]) {
+				pass.Reportf(e.Pos(), "returns fmt.Errorf without %%w; wrap an internal/sentinel sentinel")
+				return
+			}
+			// %w present: flag only when every wrapped error is known naked.
+			anyUnknown, anyWraps, anyNaked := false, false, false
+			for _, arg := range e.Args[1:] {
+				if !isErrorType(typeOf(pass, arg)) {
+					continue
+				}
+				known, wraps := errVarStatus(pass, arg)
+				switch {
+				case !known:
+					anyUnknown = true
+				case wraps:
+					anyWraps = true
+				default:
+					anyNaked = true
+				}
+			}
+			if anyNaked && !anyWraps && !anyUnknown {
+				pass.Reportf(e.Pos(), "wraps an error that does not bottom out in an internal/sentinel sentinel")
+			}
+		}
+	}
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,9 @@
+// Package badallow exercises the pseudo-analyzer diagnostic for a
+// suppression directive with no reason.
+package badallow
+
+func fine() int {
+	//genas:allow hotpath
+	// want "needs an analyzer name and a reason"
+	return 1
+}

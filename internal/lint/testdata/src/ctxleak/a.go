@@ -1,0 +1,57 @@
+// Package ctxleak is the ctxleak analyzer fixture.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+// freshRoot mints a new root despite receiving a context.
+func freshRoot(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want "context.Background() with a ctx parameter in scope"
+}
+
+// freshTODO is the same defect via TODO.
+func freshTODO(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want "context.TODO() with a ctx parameter in scope"
+}
+
+// rootInClosure: the parameter is still in scope inside the closure.
+func rootInClosure(ctx context.Context) func() context.Context {
+	_ = ctx
+	return func() context.Context {
+		return context.Background() // want "context.Background() with a ctx parameter in scope"
+	}
+}
+
+// droppedBeforeSleep receives a context, never consults it, and blocks.
+func droppedBeforeSleep(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "drops its ctx parameter before blocking work"
+}
+
+// threaded consults the context around the blocking work: quiet.
+func threaded(ctx context.Context) {
+	if ctx.Err() != nil {
+		return
+	}
+	time.Sleep(time.Millisecond)
+}
+
+// explicitDrop declares the drop with the blank identifier: quiet.
+func explicitDrop(_ context.Context) {
+	time.Sleep(time.Millisecond)
+}
+
+// noCtx has no parameter in scope, so roots are legitimate: quiet.
+func noCtx() context.Context {
+	return context.Background()
+}
+
+// allowedRoot carries a documented suppression: quiet.
+func allowedRoot(ctx context.Context) context.Context {
+	_ = ctx
+	//genas:allow ctxleak fixture: detached background task must outlive the request
+	return context.Background()
+}

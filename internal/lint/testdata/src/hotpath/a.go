@@ -1,0 +1,92 @@
+// Package hotpath is the hotpath analyzer fixture: annotated functions
+// reproduce each allocation shape the analyzer must flag; the unannotated
+// twin at the bottom proves the checks only apply under the marker.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+type engine struct {
+	mu      sync.RWMutex
+	runlock func()
+}
+
+type sink interface{ accept(v any) }
+
+//genas:hotpath
+func sprintfOnHotPath(v int) string {
+	return fmt.Sprintf("v=%d", v) // want "fmt.Sprintf allocates"
+}
+
+//genas:hotpath
+func mapLiteralOnHotPath(k string) map[string]int {
+	return map[string]int{k: 1} // want "map literal allocates"
+}
+
+//genas:hotpath
+func sliceLiteralOnHotPath(v float64) []float64 {
+	return []float64{v} // want "slice literal allocates"
+}
+
+//genas:hotpath
+func concatOnHotPath(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//genas:hotpath
+func closureOnHotPath(n int) func() int {
+	return func() int { return n } // want "closure allocates"
+}
+
+// boundMethodOnHotPath is the PR 3 Engine.acquire regression shape:
+// returning a fresh method value allocates a closure per call.
+//
+//genas:hotpath
+func (e *engine) boundMethodOnHotPath() func() {
+	e.mu.RLock()
+	return e.mu.RUnlock // want "bound method value e.mu.RUnlock allocates"
+}
+
+// hoistedMethodValue is the corrected form: the bound method value is
+// created once at construction and reused.
+//
+//genas:hotpath
+func (e *engine) hoistedMethodValue() func() {
+	e.mu.RLock()
+	return e.runlock
+}
+
+//genas:hotpath
+func boxingOnHotPath(s sink, v float64) {
+	s.accept(v) // want "boxes float64"
+}
+
+//genas:hotpath
+func pointerArgIsFine(s sink, v *engine) {
+	s.accept(v)
+}
+
+// allowedColdBranch suppresses the error-path allocation with a reason.
+//
+//genas:hotpath
+func allowedColdBranch(ok bool) error {
+	if !ok {
+		//genas:allow hotpath fixture: cold error branch
+		return fmt.Errorf("not ok")
+	}
+	return nil
+}
+
+// constConcatIsFine: constant folding happens at compile time.
+//
+//genas:hotpath
+func constConcatIsFine() string {
+	return "a" + "b"
+}
+
+// unannotated may allocate freely: quiet.
+func unannotated(k string) (string, map[string]int) {
+	return fmt.Sprintf("k=%s", k), map[string]int{k: 1}
+}

@@ -1,0 +1,17 @@
+// Package event mimics an internal leaf package: one error variable wraps
+// a sentinel, one is naked. The facts flow downstream to the root-package
+// checks.
+package event
+
+import (
+	"errors"
+	"fmt"
+
+	"genas/internal/sentinel"
+)
+
+var (
+	ErrNaked   = errors.New("event: naked")
+	ErrWrapped = fmt.Errorf("event: %w", sentinel.ErrThing)
+	ErrAliased = sentinel.ErrOther
+)

@@ -1,0 +1,61 @@
+// Package root is type-checked as the public package genas: every return
+// site is part of the supported surface, so provably sentinel-free errors
+// are findings.
+package genas
+
+import (
+	"errors"
+	"fmt"
+
+	"genas/internal/event"
+	"genas/internal/sentinel"
+)
+
+func FreshNew() error {
+	return errors.New("genas: fresh") // want "fresh errors.New"
+}
+
+func NoWrapVerb(n int) error {
+	return fmt.Errorf("genas: bad value %d", n) // want "without %w"
+}
+
+// WrapsNaked wraps a cross-package variable the facts prove naked: this is
+// the event.ErrArity leak shape the analyzer exists to catch.
+func WrapsNaked() error {
+	return fmt.Errorf("genas: %w", event.ErrNaked) // want "does not bottom out"
+}
+
+func ReturnsNaked() error {
+	return event.ErrNaked // want "does not wrap"
+}
+
+func WrapsSentinel() error {
+	return fmt.Errorf("genas: %w", sentinel.ErrThing)
+}
+
+func ReturnsWrapped() error {
+	return event.ErrWrapped
+}
+
+func ReturnsAliased() error {
+	return event.ErrAliased
+}
+
+// PassThrough re-wraps an error received from a call: the producer is
+// checked at its own return sites, so this is quiet.
+func PassThrough() error {
+	if err := WrapsSentinel(); err != nil {
+		return fmt.Errorf("genas: pass: %w", err)
+	}
+	return nil
+}
+
+func NilIsFine() (int, error) {
+	return 1, nil
+}
+
+// Allowed carries a documented suppression: quiet.
+func Allowed() error {
+	//genas:allow senterr fixture: programmer-misuse error, not a matchable condition
+	return errors.New("genas: misuse")
+}

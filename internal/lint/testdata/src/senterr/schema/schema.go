@@ -1,0 +1,27 @@
+// Package schema mimics genas/internal/schema: only exported New*
+// constructors are part of the senterr contract; helpers may return
+// whatever they like.
+package schema
+
+import "errors"
+
+var ErrNaked = errors.New("schema: naked")
+
+type Schema struct{}
+
+func New(n int) (*Schema, error) {
+	if n == 0 {
+		return nil, ErrNaked // want "does not wrap"
+	}
+	return &Schema{}, nil
+}
+
+// helper is not a constructor: quiet.
+func helper() error {
+	return ErrNaked
+}
+
+// notNamedNew is exported but not a constructor: quiet.
+func Validate() error {
+	return errors.New("schema: invalid")
+}

@@ -1,0 +1,11 @@
+// Package sentinel is the senterr fixture's sentinel-root package; it is
+// type-checked under the import path genas/internal/sentinel, so every
+// error variable here is a compliance root.
+package sentinel
+
+import "errors"
+
+var (
+	ErrThing = errors.New("genas: thing")
+	ErrOther = errors.New("genas: other")
+)

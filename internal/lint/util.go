@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// staticCallee resolves a call to the *types.Func it invokes, or nil when
+// the callee is a function-typed value (a dynamic call), a conversion, or
+// a builtin.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok && sel.Kind() == types.MethodVal {
+				return fn
+			}
+			return nil // field of function type: dynamic
+		}
+		// Package-qualified call (fmt.Errorf).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isDynamicCall reports a call through a function-typed value: a local, a
+// parameter, a struct field, or a package-level func variable — the shape
+// user-provided callbacks arrive in.
+func isDynamicCall(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return false // conversion or builtin
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		_, isFunc := info.Uses[fun].(*types.Func)
+		if isFunc {
+			return false
+		}
+		_, isVar := info.Uses[fun].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Kind() == types.FieldVal // func-typed field
+		}
+		// Package-qualified: a *types.Var here is a func-typed package var.
+		_, isVar := info.Uses[fun.Sel].(*types.Var)
+		return isVar
+	case *ast.FuncLit:
+		return false // immediately-invoked literal: body is scanned directly
+	}
+	return false
+}
+
+// funcFullName names fn like types.Func.FullName: "time.Sleep",
+// "(*sync.WaitGroup).Wait", "(net.Conn).Write".
+func funcFullName(fn *types.Func) string { return fn.FullName() }
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// pointer).
+func isMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprString renders a (small) expression for lock identity and
+// diagnostics: "e.mu", "shard.mu". Unrenderable shapes collapse to "?".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	}
+	return "?"
+}
+
+// hasDirective reports whether a function's doc comment carries the given
+// //genas: marker on a line of its own.
+func hasDirective(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports a _test.go file (analyzed loads exclude them, but
+// fixtures may not).
+func isTestFile(name string) bool { return strings.HasSuffix(name, "_test.go") }
+
+// declaredFuncs yields every function declaration with a body in the
+// package, paired with its *types.Func object.
+func declaredFuncs(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}

@@ -8,13 +8,13 @@
 package predicate
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
 	"genas/internal/schema"
+	"genas/internal/sentinel"
 )
 
 // Op enumerates the comparison operators supported by the generic service.
@@ -62,10 +62,12 @@ func (o Op) String() string {
 	}
 }
 
-// Errors reported by predicate construction.
+// Errors reported by predicate construction. Both wrap the public
+// ErrBadProfile sentinel so profile-construction failures stay
+// errors.Is-matchable through the genas facade (genasvet: senterr).
 var (
-	ErrBadPredicate = errors.New("predicate: invalid predicate")
-	ErrEmptyProfile = errors.New("predicate: profile has no predicates")
+	ErrBadPredicate = fmt.Errorf("predicate: invalid predicate: %w", sentinel.ErrBadProfile)
+	ErrEmptyProfile = fmt.Errorf("predicate: profile has no predicates: %w", sentinel.ErrBadProfile)
 )
 
 // Predicate is one attribute constraint inside a profile.

@@ -387,11 +387,19 @@ func (nw *Network) Stats() Stats {
 	}
 }
 
-// Close shuts every broker down.
+// Close shuts every broker down. The node set is snapshotted under the
+// lock and the brokers closed outside it: Broker.Close waits out in-flight
+// deliveries, and holding nw.mu across that wait would wedge every
+// Publish/Node/Stats call behind one slow Block-policy subscriber
+// (genasvet: locksafe).
 func (nw *Network) Close() {
 	nw.mu.Lock()
-	defer nw.mu.Unlock()
+	nodes := make([]*Node, 0, len(nw.nodes))
 	for _, n := range nw.nodes {
+		nodes = append(nodes, n)
+	}
+	nw.mu.Unlock()
+	for _, n := range nodes {
 		n.local.Close()
 	}
 }

@@ -9,7 +9,6 @@
 package schema
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -46,10 +45,10 @@ func (k Kind) String() string {
 // domain errors wrap the canonical public sentinels, so errors.Is against
 // the re-exported genas values succeeds wherever these surface.
 var (
-	ErrEmptySchema      = errors.New("schema: no attributes")
-	ErrDuplicateAttr    = errors.New("schema: duplicate attribute name")
+	ErrEmptySchema      = fmt.Errorf("schema: no attributes: %w", sentinel.ErrBadSchema)
+	ErrDuplicateAttr    = fmt.Errorf("schema: duplicate attribute name: %w", sentinel.ErrBadSchema)
 	ErrUnknownAttribute = fmt.Errorf("schema: %w", sentinel.ErrUnknownAttribute)
-	ErrBadDomain        = errors.New("schema: invalid domain")
+	ErrBadDomain        = fmt.Errorf("schema: invalid domain: %w", sentinel.ErrBadSchema)
 	ErrValueOutOfDomain = fmt.Errorf("schema: %w", sentinel.ErrOutOfDomain)
 )
 

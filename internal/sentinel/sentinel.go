@@ -27,4 +27,13 @@ var (
 	ErrClosed = errors.New("genas: closed")
 	// ErrBadBuffer reports a non-positive notification buffer size.
 	ErrBadBuffer = errors.New("genas: buffer size must be positive")
+	// ErrArity reports an event whose value count does not match the
+	// schema.
+	ErrArity = errors.New("genas: value count does not match schema")
+	// ErrBadSchema reports an invalid schema or domain construction: no
+	// attributes, duplicate names, or malformed domains.
+	ErrBadSchema = errors.New("genas: invalid schema")
+	// ErrBadProfile reports an invalid profile construction: no
+	// predicates, or a malformed predicate.
+	ErrBadProfile = errors.New("genas: invalid profile")
 )

@@ -1,0 +1,86 @@
+package sentinel
+
+import (
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// all lists every sentinel; new sentinels must be added here (the length
+// check below fails otherwise), which keeps the table tests honest.
+var all = map[string]error{
+	"ErrUnknownAttribute": ErrUnknownAttribute,
+	"ErrOutOfDomain":      ErrOutOfDomain,
+	"ErrDuplicateID":      ErrDuplicateID,
+	"ErrUnknownID":        ErrUnknownID,
+	"ErrClosed":           ErrClosed,
+	"ErrBadBuffer":        ErrBadBuffer,
+	"ErrArity":            ErrArity,
+	"ErrBadSchema":        ErrBadSchema,
+	"ErrBadProfile":       ErrBadProfile,
+}
+
+// TestAllIsComplete parses sentinel.go and verifies every declared Err*
+// variable appears in the table above.
+func TestAllIsComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sentinel.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := 0
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			for _, name := range spec.(*ast.ValueSpec).Names {
+				if strings.HasPrefix(name.Name, "Err") {
+					declared++
+					if _, ok := all[name.Name]; !ok {
+						t.Errorf("sentinel %s is not in the test table; add it", name.Name)
+					}
+				}
+			}
+		}
+	}
+	if declared != len(all) {
+		t.Errorf("sentinel.go declares %d Err* variables, test table has %d", declared, len(all))
+	}
+}
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	for aName, a := range all {
+		for bName, b := range all {
+			if aName != bName && errors.Is(a, b) {
+				t.Errorf("errors.Is(%s, %s) = true; sentinels must be distinct", aName, bName)
+			}
+		}
+	}
+}
+
+func TestSentinelMessages(t *testing.T) {
+	seen := make(map[string]string, len(all))
+	for name, err := range all {
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "genas: ") {
+			t.Errorf("%s = %q; sentinel messages carry the genas: prefix", name, msg)
+		}
+		if prev, dup := seen[msg]; dup {
+			t.Errorf("%s and %s share the message %q", name, prev, msg)
+		}
+		seen[msg] = name
+	}
+}
+
+func TestSentinelsSelfMatch(t *testing.T) {
+	for name, err := range all {
+		if !errors.Is(err, err) {
+			t.Errorf("errors.Is(%s, %s) = false", name, name)
+		}
+	}
+}

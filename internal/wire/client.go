@@ -87,6 +87,7 @@ func (c *Client) roundTripLine(b []byte, timeout time.Duration) (Response, error
 	if timeout > 0 {
 		_ = c.conn.SetWriteDeadline(time.Now().Add(timeout))
 	}
+	//genas:allow locksafe the protocol has no request ids: reqMu serializes each request/response round trip by design
 	if _, err := c.conn.Write(b); err != nil {
 		return Response{}, fmt.Errorf("wire: write: %w", err)
 	}
@@ -96,6 +97,7 @@ func (c *Client) roundTripLine(b []byte, timeout time.Duration) (Response, error
 		defer t.Stop()
 		timer = t.C
 	}
+	//genas:allow locksafe the reply wait is the round trip; timeout and done channels bound it
 	select {
 	case resp, ok := <-c.replies:
 		if !ok {

@@ -190,6 +190,7 @@ func (cs *connState) writeLine(v any) error {
 	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
 	_, err = cs.conn.Write(b)
 	return err
 }

@@ -122,6 +122,7 @@ func (s *Subscription) C() <-chan Notification {
 // the end of the subscription (reported as ErrClosed).
 func (s *Subscription) Next(ctx context.Context) (Notification, error) {
 	if s.handled {
+		//genas:allow senterr API misuse (mixing handler mode with Next), not a matchable runtime condition
 		return Notification{}, errHandlerMode
 	}
 	select {
