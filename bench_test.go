@@ -633,6 +633,90 @@ func TestPublishPathAllocations(t *testing.T) {
 	}
 }
 
+// TestDeliveryPathAllocations pins the delivery path's allocation behavior on
+// an incrementally churned index: handler-driven subscribers receiving
+// matching events allocate only the fixed per-event delivery cost, and a
+// subscribe/unsubscribe pair folded into the publish loop stays under the
+// same allocs-per-event ceiling the CI perf gate enforces on the churn-heavy
+// scenario — per-operation full rebuilds (thousands of allocations each)
+// cannot hide under either bound.
+func TestDeliveryPathAllocations(t *testing.T) {
+	sch := MustSchema(Attr("v", MustIntegerDomain(0, 999)))
+	svc, err := NewService(sch, WithBinarySearch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	var delivered atomic.Uint64
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("h%d", i)
+		if _, err := svc.Subscribe(id, "profile(v <= 100)", SubHandler(func(Notification) {
+			delivered.Add(1)
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := svc.Subscribe(fmt.Sprintf("p%d", i), fmt.Sprintf("profile(v = %d)", 200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn the corpus so the measured tree is the incrementally grown one
+	// (tombstones, patched-in subtrees), not a pristine build.
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("c%d", i)
+		if _, err := svc.Subscribe(id, fmt.Sprintf("profile(v = %d)", 400+i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := svc.Unsubscribe(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	eb := svc.NewEvent()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := eb.Set("v", 42).Publish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("handler delivery on a churned index allocates %.1f objects/event, want <= 8", allocs)
+	}
+
+	// Active churn folded into the publish loop: one subscribe/unsubscribe
+	// pair per published event. 100 allocs/event is the CI gate's churn-heavy
+	// ceiling; a per-operation rebuild would blow it by orders of magnitude.
+	churn := 0
+	allocs = testing.AllocsPerRun(1000, func() {
+		churn++
+		id := fmt.Sprintf("x%d", churn)
+		if _, err := svc.Subscribe(id, fmt.Sprintf("profile(v = %d)", 500+churn%400)); err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.Unsubscribe(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eb.Set("v", 42).Publish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 100 {
+		t.Errorf("publish+churn allocates %.1f objects/op, want <= 100 (per-op rebuilds would be thousands)", allocs)
+	}
+
+	// The handlers really ran: every measured publish matched all four.
+	deadline := 0
+	for delivered.Load() == 0 && deadline < 1000 {
+		deadline++
+		runtime.Gosched()
+	}
+	if delivered.Load() == 0 {
+		t.Error("handler subscribers never received a delivery")
+	}
+}
+
 // BenchmarkMatchBatch measures parallel batch matching against the
 // sequential path on the same workload.
 func BenchmarkMatchBatch(b *testing.B) {

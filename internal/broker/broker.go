@@ -653,6 +653,16 @@ type blockedSend struct {
 	n     Notification
 }
 
+// blockedBuf is the pooled collection buffer for Block-policy deliveries:
+// steady-state delivery to Block subscribers must not grow a fresh slice per
+// event. Buffers are cleared before pooling so retained capacity does not
+// pin events or subscriptions.
+type blockedBuf struct {
+	sends []blockedSend
+}
+
+var blockedPool = sync.Pool{New: func() any { return new(blockedBuf) }}
+
 // deliver pushes one event's notifications to the matched subscribers,
 // locking only the delivery shards the matched ids live on. Non-blocking
 // sends (DropNewest, DropOldest) happen under the shard read lock: channel
@@ -664,9 +674,17 @@ type blockedSend struct {
 // ids arrive grouped by shard (the sharded engine merges in shard order), so
 // the lock is held across each run of same-shard ids rather than per id.
 // cancel (possibly nil) aborts Block-policy sends.
+//
+// The notification value is built once per event, before the loop, and only
+// its Profile field is stamped per matched id — after the liveness check, so
+// closed or vanished subscriptions cost nothing (they previously paid a full
+// event copy each).
+//
+//genas:hotpath
 func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time, cancel <-chan struct{}) {
 	var shard *deliveryShard
-	var blocked []blockedSend // nil unless Block-policy subscribers matched
+	var buf *blockedBuf // nil unless Block-policy subscribers matched
+	n := Notification{Event: ev, Delivered: now}
 	for _, id := range ids {
 		if next := b.shardFor(id); next != shard {
 			if shard != nil {
@@ -679,9 +697,12 @@ func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time, canc
 		if !ok || sub.closed.Load() {
 			continue
 		}
-		n := Notification{Event: ev, Profile: id, Delivered: now}
+		n.Profile = id
 		if sub.policy == Block {
-			blocked = append(blocked, blockedSend{shard: shard, sub: sub, n: n})
+			if buf == nil {
+				buf = blockedPool.Get().(*blockedBuf)
+			}
+			buf.sends = append(buf.sends, blockedSend{shard: shard, sub: sub, n: n})
 			continue
 		}
 		sent, evicted := sub.send(n)
@@ -700,13 +721,20 @@ func (b *Broker) deliver(ev event.Event, ids []predicate.ID, now time.Time, canc
 	if shard != nil {
 		shard.mu.RUnlock()
 	}
-	for _, bs := range blocked {
+	if buf == nil {
+		return
+	}
+	for i := range buf.sends {
+		bs := &buf.sends[i]
 		if bs.sub.blockingSend(bs.n, cancel) {
 			bs.shard.delivered.Add(1)
 		} else {
 			bs.shard.dropped.Add(1)
 		}
 	}
+	clear(buf.sends)
+	buf.sends = buf.sends[:0]
+	blockedPool.Put(buf)
 }
 
 // send places n on the subscription channel under its non-blocking drop

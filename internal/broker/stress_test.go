@@ -168,3 +168,181 @@ func TestRaceStress(t *testing.T) {
 		})
 	}
 }
+
+// TestChurnRaceStress aims the stress harness at the churn path specifically:
+// Block-policy subscribers with tiny buffers so publishers park on full
+// channels, churner goroutines subscribing and unsubscribing Block-policy
+// profiles mid-flight (an unsubscribe must release any delivery parked on
+// that subscription), and the adaptive policy swapping index snapshots under
+// all of it. Every stable subscriber is drained concurrently and checked
+// against the same sequential oracle as TestRaceStress: exact match counts,
+// no losses, no duplicate seqs. Run under -race; the interleavings between
+// snapshot swaps, parked Block sends and subscription teardown are the point.
+func TestChurnRaceStress(t *testing.T) {
+	const (
+		publishers   = 8
+		churners     = 4
+		eventsPerPub = 200
+		totalEvents  = publishers * eventsPerPub
+		stableSubs   = 8
+		churnPerG    = 40
+	)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			b := newBroker(t, Options{
+				Shards:   shards,
+				Adaptive: true,
+				Policy:   adaptive.Policy{Window: 64, Threshold: 0.01, ReorderAttributes: true, MinHistory: 64},
+			})
+			s := b.Schema()
+
+			// Stable Block-policy subscribers: buffers far smaller than the
+			// event volume, so correctness depends on backpressure (a parked
+			// publisher resuming when the drainer catches up), not on buffer
+			// headroom. Block never drops, so the drained set must equal the
+			// oracle exactly.
+			stable := make([]*Subscription, stableSubs)
+			received := make([][]event.Event, stableSubs)
+			var drain sync.WaitGroup
+			for i := range stable {
+				expr := fmt.Sprintf("profile(temperature >= %d)", i*8-30)
+				sub, err := b.SubscribeWith(
+					predicate.MustParse(s, predicate.ID(fmt.Sprintf("bstable%d", i)), expr),
+					SubOptions{Buffer: 4, Policy: Block},
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stable[i] = sub
+				drain.Add(1)
+				go func(i int, sub *Subscription) {
+					defer drain.Done()
+					for n := range sub.C() {
+						received[i] = append(received[i], n.Event)
+					}
+				}(i, sub)
+			}
+
+			var wg sync.WaitGroup
+			published := make([][]event.Event, publishers)
+			for g := 0; g < publishers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(4000 + g)))
+					evs := make([]event.Event, 0, eventsPerPub)
+					mk := func() event.Event {
+						ev, err := event.New(s, float64(rng.Intn(80)-30), float64(rng.Intn(100)))
+						if err != nil {
+							panic(err)
+						}
+						return ev
+					}
+					if g < 2 {
+						for done := 0; done < eventsPerPub; {
+							n := rng.Intn(16) + 1
+							if done+n > eventsPerPub {
+								n = eventsPerPub - done
+							}
+							batch := make([]event.Event, n)
+							for i := range batch {
+								batch[i] = mk()
+							}
+							if _, err := b.PublishBatch(batch); err != nil {
+								panic(err)
+							}
+							evs = append(evs, batch...)
+							done += n
+						}
+					} else {
+						for i := 0; i < eventsPerPub; i++ {
+							ev := mk()
+							if _, err := b.Publish(ev); err != nil {
+								panic(err)
+							}
+							evs = append(evs, ev)
+						}
+					}
+					published[g] = evs
+				}(g)
+			}
+
+			// Churners register Block-policy subscriptions they mostly never
+			// drain: publishers park on the full buffers and only the
+			// unsubscribe releases them — the teardown fence (end, retire,
+			// channel close) races live parked sends on every iteration.
+			for g := 0; g < churners; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(5000 + g)))
+					for i := 0; i < churnPerG; i++ {
+						id := predicate.ID(fmt.Sprintf("bchurn%d-%d", g, i))
+						expr := fmt.Sprintf("profile(humidity >= %d)", rng.Intn(100))
+						sub, err := b.SubscribeWith(predicate.MustParse(s, id, expr), SubOptions{Buffer: 2, Policy: Block})
+						if err != nil {
+							panic(err)
+						}
+						if rng.Intn(2) == 0 {
+							// Sometimes drain one notification so the
+							// unsubscribe races in-flight sends as well as
+							// parked ones.
+							select {
+							case <-sub.C():
+							default:
+							}
+						}
+						if err := b.Unsubscribe(id); err != nil {
+							panic(err)
+						}
+					}
+				}(g)
+			}
+
+			wg.Wait()
+			// Retire the stable subscriptions so their channels close and the
+			// drainers finish.
+			for i := range stable {
+				if err := b.Unsubscribe(predicate.ID(fmt.Sprintf("bstable%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			drain.Wait()
+
+			st := b.Stats()
+			if st.Published != totalEvents {
+				t.Fatalf("published %d of %d", st.Published, totalEvents)
+			}
+			for i, sub := range stable {
+				if d := sub.Dropped(); d != 0 {
+					t.Fatalf("bstable%d dropped %d notifications: Block policy must never drop", i, d)
+				}
+				p := sub.Profile()
+				want := 0
+				for _, evs := range published {
+					for _, ev := range evs {
+						if p.Matches(ev.Vals) {
+							want++
+						}
+					}
+				}
+				if got := len(received[i]); got != want {
+					t.Errorf("bstable%d: received %d notifications, oracle says %d", i, got, want)
+				}
+				seen := make(map[uint64]bool, len(received[i]))
+				for _, ev := range received[i] {
+					if seen[ev.Seq] {
+						t.Fatalf("bstable%d: duplicate notification for seq %d", i, ev.Seq)
+					}
+					seen[ev.Seq] = true
+					if !p.Matches(ev.Vals) {
+						t.Fatalf("bstable%d: notified for non-matching event %v", i, ev.Vals)
+					}
+				}
+			}
+			if b.Adaptor().Restructures() == 0 {
+				t.Error("adaptive policy never restructured during the stress run")
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,31 +25,38 @@ const batchChunk = 64
 // subscriptions change mid-flight, and results are positionally aligned
 // with the input. workers ≤ 0 selects GOMAXPROCS.
 //
-// The read lock is held for the whole batch (acquireShared — only
-// pathological churn falls back to a write-held traversal), so
-// restructuring (Reorder, Rebuild) waits for in-flight batches; matching
-// inside the batch needs no further synchronization because the tree is
-// immutable while the lock is held.
+// The snapshot is loaded once and traversed lock-free: it is immutable, so
+// neither churn nor restructuring mid-batch affects the workers, and no
+// writer ever waits on an in-flight batch.
 func (e *Engine) MatchBatch(events [][]float64, workers int) ([]BatchResult, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
-	t, release, err := e.acquireShared()
-	if errors.Is(err, ErrNoProfiles) {
+	snap := e.snap.Load()
+	t := snap.tree
+	if snap.empty {
+		t = nil
+	} else if t == nil {
+		var err error
+		t, err = e.lazyTree()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if t == nil {
 		return make([]BatchResult, len(events)), nil
 	}
-	if err != nil {
-		return nil, err
-	}
-	defer release()
 
 	results := make([]BatchResult, len(events))
 	profiles := t.Profiles()
 	runBatch(len(events), workers, func(i int) {
 		matched, ops := t.Match(events[i])
-		ids := make([]predicate.ID, len(matched))
-		for j, pi := range matched {
-			ids[j] = profiles[pi].ID
+		ids := make([]predicate.ID, 0, len(matched))
+		for _, pi := range matched {
+			if t.Dead(pi) {
+				continue
+			}
+			ids = append(ids, profiles[pi].ID)
 		}
 		results[i] = BatchResult{IDs: ids, Ops: ops}
 	})

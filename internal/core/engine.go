@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"genas/internal/dist"
 	"genas/internal/predicate"
@@ -123,24 +124,62 @@ var (
 	ErrNoProfiles       = errors.New("core: no profiles registered")
 )
 
+// snapshot is one immutable published state of the engine's automaton.
+// Matches load the snapshot pointer once and traverse it without any lock:
+// successor snapshots share untouched nodes with their predecessor, and no
+// published tree is ever mutated. Three states exist:
+//
+//   - empty: no profiles are registered; matching is a lock-free no-op.
+//   - stale (tree == nil, empty == false): profiles exist but the automaton
+//     must be (re)built — the next reader builds it lazily under e.mu, so
+//     bulk registration before the first publish stays cheap.
+//   - built (tree != nil): ready to traverse.
+type snapshot struct {
+	tree  *tree.Tree
+	empty bool
+}
+
 // Engine is the distribution-based filter component. It is safe for
-// concurrent use: matches take a read lock; profile changes and rebuilds
-// take the write lock.
+// concurrent use: matches are lock-free against the current snapshot, while
+// profile churn, rebuilds and reconfiguration serialize on an internal
+// mutex and publish successor snapshots atomically (RCU-style). Subscribe
+// and unsubscribe therefore never contend with the publish hot path.
 type Engine struct {
-	mu      sync.RWMutex
+	snap    atomic.Pointer[snapshot]
+	mu      sync.Mutex // serializes writers: churn, rebuilds, config
 	schema  *schema.Schema
 	cfg     Config
 	byID    map[predicate.ID]int
 	dense   []*predicate.Profile
-	tree    *tree.Tree
-	dirty   bool
 	account stats.OpAccount
-	// runlock/unlock are the bound unlock method values, captured once at
-	// construction: returning e.mu.RUnlock directly from acquire would
-	// allocate a fresh method-value closure on every match, the single
-	// allocation that kept the publish hot path from being allocation-free.
-	runlock func()
-	unlock  func()
+
+	// treeIdx maps profile id to its dense index inside the published tree
+	// (tree indices are append-only between rebuilds, so they drift from
+	// e.dense, which swap-removes). Valid only while snap.tree != nil.
+	treeIdx map[predicate.ID]int
+	// edits counts incremental transforms since the last full rebuild; once
+	// it passes coalesceThreshold the next churn op rebuilds, restoring the
+	// canonical structure and clearing tombstones.
+	edits int
+	// vo is the value order applied at the last rebuild, reused by
+	// incremental inserts (recomputing empirical measures per insert would
+	// rescan the corpus; drift between rebuilds is bounded by coalescing).
+	vo tree.ValueOrder
+}
+
+// coalesceThreshold returns the edit budget before the next churn operation
+// pays a full rebuild: proportional to the corpus so large engines don't
+// rebuild constantly, floored so small ones don't rebuild on every edit.
+func (e *Engine) coalesceThreshold() int {
+	// Four edits per live profile before paying a full rebuild: successor
+	// trees fragment slowly (each insert adds at most a few cuts per level)
+	// and tombstones only cost a bitmap test at translation, so rebuilding
+	// once per corpus-sized batch of edits trades a small match-path drift
+	// for keeping the rebuild entirely off the steady churn path.
+	if n := 2 * len(e.dense); n > 128 {
+		return n
+	}
+	return 128
 }
 
 // NewEngine creates an engine over schema s.
@@ -159,16 +198,16 @@ func NewEngine(s *schema.Schema, cfg Config) *Engine {
 		cfg:    cfg,
 		byID:   make(map[predicate.ID]int),
 	}
-	e.runlock = e.mu.RUnlock
-	e.unlock = e.mu.Unlock
+	e.snap.Store(&snapshot{empty: true})
 	return e
 }
 
 // Schema returns the engine's schema.
 func (e *Engine) Schema() *schema.Schema { return e.schema }
 
-// AddProfile registers a profile; the tree is rebuilt lazily on the next
-// match or explicit Rebuild.
+// AddProfile registers a profile. When an automaton is live the profile is
+// inserted incrementally (a successor snapshot sharing the untouched node
+// graph); otherwise the tree is built lazily on the next match.
 func (e *Engine) AddProfile(p *predicate.Profile) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -177,11 +216,28 @@ func (e *Engine) AddProfile(p *predicate.Profile) error {
 	}
 	e.byID[p.ID] = len(e.dense)
 	e.dense = append(e.dense, p)
-	e.dirty = true
+	snap := e.snap.Load()
+	switch {
+	case snap.empty:
+		e.snap.Store(&snapshot{})
+	case snap.tree == nil:
+		// Already stale; the pending lazy build picks the profile up.
+	default:
+		e.edits++
+		if e.edits >= e.coalesceThreshold() {
+			e.coalesceLocked()
+			return nil
+		}
+		nt, ti := snap.tree.WithProfile(p, e.vo)
+		e.treeIdx[p.ID] = ti
+		e.snap.Store(&snapshot{tree: nt})
+	}
 	return nil
 }
 
-// RemoveProfile unregisters a profile by id.
+// RemoveProfile unregisters a profile by id. When an automaton is live the
+// profile is tombstoned in a successor snapshot (O(1)); tombstones are
+// compacted by the next coalescing rebuild.
 func (e *Engine) RemoveProfile(id predicate.ID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -196,21 +252,58 @@ func (e *Engine) RemoveProfile(id predicate.ID) error {
 	if i < last {
 		e.byID[e.dense[i].ID] = i
 	}
-	e.dirty = true
+	snap := e.snap.Load()
+	switch {
+	case len(e.dense) == 0:
+		e.storeEmptyLocked()
+	case snap.empty || snap.tree == nil:
+		// Nothing published or already stale; the next build reads e.dense.
+	default:
+		ti, ok := e.treeIdx[id]
+		if !ok {
+			// Defensive: unknown tree index, fall back to a lazy rebuild.
+			e.snap.Store(&snapshot{})
+			return nil
+		}
+		delete(e.treeIdx, id)
+		e.edits++
+		if e.edits >= e.coalesceThreshold() {
+			e.coalesceLocked()
+			return nil
+		}
+		e.snap.Store(&snapshot{tree: snap.tree.WithoutProfile(ti)})
+	}
 	return nil
+}
+
+// coalesceLocked replaces the incrementally grown automaton with a freshly
+// built one (canonical structure, ordering recomputed, tombstones cleared).
+// Build errors (e.g. an A3 ordering failure) must not fail the churn
+// operation — the corpus update already happened — so on error the engine
+// publishes a stale snapshot and the error surfaces on the next match.
+func (e *Engine) coalesceLocked() {
+	if err := e.rebuildLocked(); err != nil {
+		e.snap.Store(&snapshot{})
+	}
+}
+
+func (e *Engine) storeEmptyLocked() {
+	e.snap.Store(&snapshot{empty: true})
+	e.treeIdx = nil
+	e.edits = 0
 }
 
 // ProfileCount returns the number of registered profiles.
 func (e *Engine) ProfileCount() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return len(e.dense)
 }
 
 // Profiles returns a copy of the registered profiles.
 func (e *Engine) Profiles() []*predicate.Profile {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make([]*predicate.Profile, len(e.dense))
 	copy(out, e.dense)
 	return out
@@ -298,8 +391,11 @@ func (e *Engine) Rebuild() error {
 	return e.rebuildLocked()
 }
 
+// rebuildLocked builds a fresh automaton from the current corpus and
+// publishes it. Callers hold e.mu.
 func (e *Engine) rebuildLocked() error {
 	if len(e.dense) == 0 {
+		e.storeEmptyLocked()
 		return ErrNoProfiles
 	}
 	order, err := e.attrOrder()
@@ -316,21 +412,33 @@ func (e *Engine) rebuildLocked() error {
 	if err != nil {
 		return err
 	}
-	t.ApplyValueOrder(e.valueOrder())
-	e.tree = t
-	e.dirty = false
+	vo := e.valueOrder()
+	// The tree is not published yet, so the in-place ordering pass is safe.
+	t.ApplyValueOrder(vo)
+	e.vo = vo
+	e.treeIdx = make(map[predicate.ID]int, len(corpus))
+	for i, p := range corpus {
+		e.treeIdx[p.ID] = i
+	}
+	e.edits = 0
+	e.snap.Store(&snapshot{tree: t})
 	return nil
 }
 
 // Reorder re-applies the value ordering on the existing structure (cheap
-// restructuring after a distribution update).
+// restructuring after a distribution update). The reordered automaton is
+// published as a successor snapshot; in-flight matches finish on the old
+// order.
 func (e *Engine) Reorder() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.tree == nil || e.dirty {
+	snap := e.snap.Load()
+	if snap.empty || snap.tree == nil {
 		return e.rebuildLocked()
 	}
-	e.tree.ApplyValueOrder(e.valueOrder())
+	vo := e.valueOrder()
+	e.vo = vo
+	e.snap.Store(&snapshot{tree: snap.tree.Reordered(vo)})
 	return nil
 }
 
@@ -344,13 +452,13 @@ func (e *Engine) SetEventDists(ds []dist.Dist) {
 
 // Config returns a copy of the current configuration.
 func (e *Engine) Config() Config {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	return e.cfg
 }
 
-// SetConfig replaces the measure/search configuration; the change takes
-// effect on the next Rebuild or Reorder.
+// SetConfig replaces the measure/search configuration. The published
+// automaton is invalidated; the next match rebuilds with the new settings.
 func (e *Engine) SetConfig(cfg Config) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -364,13 +472,34 @@ func (e *Engine) SetConfig(cfg Config) {
 		cfg.Search = e.cfg.Search
 	}
 	e.cfg = cfg
-	e.dirty = true
+	if snap := e.snap.Load(); !snap.empty {
+		e.snap.Store(&snapshot{})
+	}
+}
+
+// lazyTree resolves a stale snapshot: it (re)builds the automaton under the
+// writer mutex, unless a concurrent writer already did. A nil tree with nil
+// error means the engine went empty in the meantime.
+func (e *Engine) lazyTree() (*tree.Tree, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.snap.Load()
+	if snap.empty {
+		return nil, nil
+	}
+	if snap.tree != nil {
+		return snap.tree, nil
+	}
+	if err := e.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return e.snap.Load().tree, nil
 }
 
 // Match filters one event, returning matched profile IDs and the operations
-// spent. The tree is rebuilt transparently if profiles changed. IDs are
-// resolved against the same automaton snapshot that produced the match, so
-// concurrent profile churn cannot skew the translation.
+// spent. The traversal is lock-free: it runs against the current immutable
+// snapshot, so concurrent profile churn cannot block or skew it. IDs are
+// resolved against the same snapshot that produced the match.
 //
 //genas:hotpath
 func (e *Engine) Match(vals []float64) ([]predicate.ID, int, error) {
@@ -390,12 +519,19 @@ func (e *Engine) Match(vals []float64) ([]predicate.ID, int, error) {
 //
 //genas:hotpath
 func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.ID, ops int, empty bool, err error) {
-	t, release, err := e.acquire()
-	if errors.Is(err, ErrNoProfiles) {
+	snap := e.snap.Load()
+	if snap.empty {
 		return dst, 0, true, nil
 	}
-	if err != nil {
-		return dst, 0, false, err
+	t := snap.tree
+	if t == nil {
+		t, err = e.lazyTree()
+		if err != nil {
+			return dst, 0, false, err
+		}
+		if t == nil {
+			return dst, 0, true, nil
+		}
 	}
 	matched, matchOps := t.Match(vals)
 	ids = dst
@@ -403,116 +539,95 @@ func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.I
 		ids = make([]predicate.ID, 0, len(matched))
 	}
 	profiles := t.Profiles()
-	for _, pi := range matched {
-		ids = append(ids, profiles[pi].ID)
+	if t.HasDead() {
+		for _, pi := range matched {
+			if t.Dead(pi) {
+				continue
+			}
+			ids = append(ids, profiles[pi].ID)
+		}
+	} else {
+		for _, pi := range matched {
+			ids = append(ids, profiles[pi].ID)
+		}
 	}
-	release()
 	return ids, matchOps, false, nil
 }
 
 // MatchDense is Match returning dense indices into the tree snapshot (hot
 // path; avoids the ID materialization). The indices are only meaningful
-// against Tree().Profiles() of the same snapshot.
+// against the Profiles() of the snapshot that produced them — under churn,
+// Tree() may already point at a successor — so callers needing identity
+// should use Match.
 //
 //genas:hotpath
 func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
-	t, release, err := e.acquire()
-	if errors.Is(err, ErrNoProfiles) {
+	snap := e.snap.Load()
+	if snap.empty {
 		return nil, 0, nil // an empty filter matches nothing
 	}
-	if err != nil {
-		return nil, 0, err
+	t := snap.tree
+	if t == nil {
+		var err error
+		t, err = e.lazyTree()
+		if err != nil {
+			return nil, 0, err
+		}
+		if t == nil {
+			return nil, 0, nil
+		}
 	}
 	matched, ops := t.Match(vals)
-	release()
+	if t.HasDead() {
+		live := make([]int, 0, len(matched))
+		for _, pi := range matched {
+			if !t.Dead(pi) {
+				live = append(live, pi)
+			}
+		}
+		matched = live
+	}
 	e.account.Record(ops, len(matched))
 	return matched, ops, nil
 }
 
-// acquire returns the current automaton with the engine read lock held,
-// rebuilding first when profiles changed since the last build. The caller
-// must invoke release when done traversing: Reorder applies value orders to
-// the live tree in place, so matches must exclude writers for their whole
-// traversal, not only while fetching the root pointer. The release
-// functions are the runlock/unlock fields bound once at construction —
-// returning a fresh method value here would put one closure allocation on
-// every match (the PR 3 regression hotpath now guards against).
-//
-//genas:hotpath
-func (e *Engine) acquire() (*tree.Tree, func(), error) {
-	e.mu.RLock()
-	if !e.dirty && e.tree != nil {
-		return e.tree, e.runlock, nil
-	}
-	if len(e.dense) == 0 {
-		// Decide emptiness under the read lock: an empty engine (e.g. an
-		// unpopulated shard) must not escalate to the write lock on every
-		// match, or parallel publishers re-serialize on it.
-		e.mu.RUnlock()
-		return nil, nil, ErrNoProfiles
-	}
-	e.mu.RUnlock()
-	e.mu.Lock()
-	if e.dirty || e.tree == nil {
-		if err := e.rebuildLocked(); err != nil {
-			e.mu.Unlock()
-			return nil, nil, err
-		}
-	}
-	// Serve the traversal from the freshly built tree while still holding
-	// the write lock: dropping it to re-enter the read path could loop
-	// forever under sustained profile churn (every re-entry finding the
-	// tree re-dirtied and paying another rebuild). Single-event traversals
-	// are short, so the write-hold is cheap; long traversals use
-	// acquireShared instead.
-	return e.tree, e.unlock, nil
-}
-
-// acquireShared is acquire for long traversals (whole batches): it prefers
-// serving from the read lock — holding the write lock across a large batch
-// would stall every concurrent publisher on the shard — and pays a bounded
-// number of rebuild/retry rounds under churn before falling back to
-// acquire's write-held traversal.
-func (e *Engine) acquireShared() (*tree.Tree, func(), error) {
-	for try := 0; try < 4; try++ {
-		e.mu.RLock()
-		if !e.dirty && e.tree != nil {
-			return e.tree, e.runlock, nil
-		}
-		if len(e.dense) == 0 {
-			e.mu.RUnlock()
-			return nil, nil, ErrNoProfiles
-		}
-		e.mu.RUnlock()
-		e.mu.Lock()
-		if e.dirty || e.tree == nil {
-			if err := e.rebuildLocked(); err != nil {
-				e.mu.Unlock()
-				return nil, nil, err
-			}
-		}
-		e.mu.Unlock()
-	}
-	return e.acquire()
-}
-
-// Tree exposes the current automaton (nil until built). The experiments
-// harness uses it for analytic evaluation.
+// Tree exposes the current automaton (nil until first built). A stale
+// snapshot (pending lazy rebuild) is resolved first, so the returned tree
+// reflects the current corpus and configuration; it may be superseded by
+// the time the caller inspects it.
 func (e *Engine) Tree() *tree.Tree {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.tree
+	snap := e.snap.Load()
+	if snap.empty {
+		return nil
+	}
+	if snap.tree != nil {
+		return snap.tree
+	}
+	t, _ := e.lazyTree()
+	return t
 }
 
 // Analyze runs the analytic cost model (Eq. 2) under the engine's event
-// distributions.
+// distributions. The model is defined over the live corpus, so a tombstoned
+// or stale automaton is coalesced first.
 func (e *Engine) Analyze() (selectivity.Analysis, error) {
-	t, release, err := e.acquire()
-	if err != nil {
-		return selectivity.Analysis{}, err
+	e.mu.Lock()
+	snap := e.snap.Load()
+	if snap.empty {
+		e.mu.Unlock()
+		return selectivity.Analysis{}, ErrNoProfiles
 	}
-	defer release()
-	return selectivity.Analyze(t, e.eventDists()), nil
+	if snap.tree == nil || snap.tree.HasDead() || e.edits > 0 {
+		if err := e.rebuildLocked(); err != nil {
+			e.mu.Unlock()
+			return selectivity.Analysis{}, err
+		}
+		snap = e.snap.Load()
+	}
+	t := snap.tree
+	ed := e.eventDists()
+	e.mu.Unlock()
+	return selectivity.Analyze(t, ed), nil
 }
 
 // Account returns the live operation accounting summary.

@@ -20,10 +20,10 @@ import (
 // single-tree engine over the same corpus; what changes is the concurrency
 // layout:
 //
-//   - profile churn (subscribe/unsubscribe) dirties and later rebuilds one
-//     shard, while matching proceeds unhindered on the other N−1;
-//   - restructuring (Reorder/Rebuild) locks one shard at a time instead of
-//     stopping the world;
+//   - profile churn (subscribe/unsubscribe) publishes a successor snapshot
+//     on one shard, while matching proceeds lock-free on all N;
+//   - restructuring (Reorder/Rebuild) swaps one shard's snapshot at a time
+//     instead of stopping the world;
 //   - operation accounting stripes across per-shard accounts, so parallel
 //     publishers do not serialize on a single accounting mutex.
 //
@@ -175,37 +175,38 @@ func (sh *Sharded) Match(vals []float64) ([]predicate.ID, int, error) {
 	return ids, ops, nil
 }
 
-// MatchBatch filters many events against one corpus snapshot per shard.
-// Every shard's read lock is held (in ascending shard order) for the whole
-// batch, so all events in the batch see a consistent corpus and per-shard
-// restructuring waits for in-flight batches. Events fan out across workers;
-// each worker matches its events against all shards and merges inline.
+// MatchBatch filters many events against one immutable snapshot per shard.
+// The snapshots are collected once (resolving lazy rebuilds) and traversed
+// lock-free, so all events in the batch see a consistent corpus and neither
+// churn nor per-shard restructuring waits for in-flight batches. Events fan
+// out across workers; each worker matches its events against all shards and
+// merges inline.
 func (sh *Sharded) MatchBatch(events [][]float64, workers int) ([]BatchResult, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
-	type snap struct {
+	type shardSnap struct {
 		t        *tree.Tree
 		profiles []*predicate.Profile
 	}
-	snaps := make([]snap, 0, len(sh.shards))
-	releases := make([]func(), 0, len(sh.shards))
-	release := func() {
-		for _, r := range releases {
-			r()
-		}
-	}
+	snaps := make([]shardSnap, 0, len(sh.shards))
 	for _, e := range sh.shards {
-		t, rel, err := e.acquireShared()
-		if errors.Is(err, ErrNoProfiles) {
+		s := e.snap.Load()
+		t := s.tree
+		if s.empty {
 			continue
 		}
-		if err != nil {
-			release()
-			return nil, err
+		if t == nil {
+			var err error
+			t, err = e.lazyTree()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				continue
+			}
 		}
-		snaps = append(snaps, snap{t: t, profiles: t.Profiles()})
-		releases = append(releases, rel)
+		snaps = append(snaps, shardSnap{t: t, profiles: t.Profiles()})
 	}
 	results := make([]BatchResult, len(events))
 	if len(snaps) == 0 {
@@ -218,12 +219,14 @@ func (sh *Sharded) MatchBatch(events [][]float64, workers int) ([]BatchResult, e
 			matched, o := sn.t.Match(events[i])
 			ops += o
 			for _, pi := range matched {
+				if sn.t.Dead(pi) {
+					continue
+				}
 				ids = append(ids, sn.profiles[pi].ID)
 			}
 		}
 		results[i] = BatchResult{IDs: ids, Ops: ops}
 	})
-	release()
 	for _, r := range results {
 		sh.record(r.Ops, len(r.IDs))
 	}

@@ -108,6 +108,10 @@ type Regression struct {
 	// Missing marks a scenario present in the baseline but absent from the
 	// new report — silent coverage loss counts as a regression.
 	Missing bool `json:"missing,omitempty"`
+	// AllocsPerEvent and AllocCap are set when the row failed an absolute
+	// allocation ceiling rather than a relative throughput drop.
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+	AllocCap       float64 `json:"alloc_cap,omitempty"`
 }
 
 // String renders one regression for gate logs.
@@ -115,14 +119,29 @@ func (g Regression) String() string {
 	if g.Missing {
 		return fmt.Sprintf("%s: missing from new report (was %.0f events/s)", g.Scenario, g.OldEPS)
 	}
+	if g.AllocCap > 0 {
+		return fmt.Sprintf("%s: %.1f allocs/event exceeds the %.0f allocs/event ceiling",
+			g.Scenario, g.AllocsPerEvent, g.AllocCap)
+	}
 	return fmt.Sprintf("%s: %.0f -> %.0f events/s (%.1f%% of baseline)",
 		g.Scenario, g.OldEPS, g.NewEPS, g.Ratio*100)
 }
 
+// AllocCaps lists absolute ceilings on allocations per published event, by
+// scenario name. Unlike the throughput comparison these are not relative to
+// the baseline: allocation counts are machine-independent, so a ceiling
+// breach is a real change in the code's allocation behavior, not noise. The
+// churn-heavy ceiling pins the incremental-index property that subscription
+// churn no longer rebuilds (and reallocates) the automaton per operation.
+var AllocCaps = map[string]float64{
+	"churn-heavy": 100,
+}
+
 // Compare gates cur against base: every baseline scenario must still exist
-// and keep at least (1 − tolerance) of its throughput. Improvements and
-// scenarios new to the suite never fail the gate. A tolerance of 0.25
-// tolerates a 25% drop.
+// and keep at least (1 − tolerance) of its throughput, and every scenario
+// with an AllocCaps entry must stay under its allocs-per-event ceiling.
+// Improvements and scenarios new to the suite never fail the gate. A
+// tolerance of 0.25 tolerates a 25% drop.
 func Compare(base, cur *Report, tolerance float64) []Regression {
 	byName := make(map[string]Result, len(cur.Scenarios))
 	for _, r := range cur.Scenarios {
@@ -147,6 +166,17 @@ func Compare(base, cur *Report, tolerance float64) []Regression {
 				Ratio:    ratio,
 			})
 		}
+	}
+	for _, r := range cur.Scenarios {
+		ceiling, ok := AllocCaps[r.Name]
+		if !ok || r.Measured.AllocsPerEvent <= ceiling {
+			continue
+		}
+		regs = append(regs, Regression{
+			Scenario:       r.Name,
+			AllocsPerEvent: r.Measured.AllocsPerEvent,
+			AllocCap:       ceiling,
+		})
 	}
 	return regs
 }

@@ -134,9 +134,9 @@ func Analyze(t *tree.Tree, edists []dist.Dist) Analysis {
 				}
 				// Leaf edge: notification point for every matched profile.
 				res.MatchProb += a.w * p
-				res.ExpMatches += a.w * p * float64(len(edge.Leaf))
+				res.ExpMatches += a.w * p * float64(len(edge.Leaf()))
 				pathOps := a.c*p + a.w*p*cost
-				for _, pi := range edge.Leaf {
+				for _, pi := range edge.Leaf() {
 					profProb[pi] += a.w * p
 					profOps[pi] += pathOps
 				}

@@ -261,6 +261,26 @@ func atomCount(iv schema.Interval) float64 {
 	return n
 }
 
+// Snap normalizes one piece of a domain partition: on discrete domains the
+// interval is snapped to the closed atom-aligned form the decomposition
+// produces (ok=false when it holds no atom), on continuous domains it passes
+// through (ok=false when empty). The incremental tree transform splits
+// existing buckets against a new profile's intervals and must land on the
+// same canonical pieces a fresh decomposition would.
+func Snap(iv schema.Interval, discrete bool) (schema.Interval, bool) {
+	if discrete {
+		lo, hi, n := atomBounds(iv)
+		if n == 0 {
+			return schema.Interval{}, false
+		}
+		return schema.Closed(lo, hi), true
+	}
+	if iv.Empty() {
+		return schema.Interval{}, false
+	}
+	return iv, true
+}
+
 // measure returns the paper's size of a piece: atom count on discrete
 // domains, interval length on continuous ones.
 func measure(iv schema.Interval, discrete bool) float64 {

@@ -63,7 +63,7 @@ func (t *Tree) applyNaturalOrder() {
 // the cheap half of restructuring (the expensive half, attribute reordering,
 // requires Build with a different order).
 func (t *Tree) ApplyValueOrder(vo ValueOrder) {
-	for _, level := range t.levels {
+	for _, level := range t.ensureMeta().levels {
 		for _, n := range level {
 			n.applyOrder(vo)
 		}

@@ -183,20 +183,29 @@ func (n *Node) stepHash(target bucket) (int, int) {
 
 // Match filters one event (values indexed by schema attribute) through the
 // automaton. It returns the dense indices of all matched profiles and the
-// number of comparison operations spent. The returned slice aliases tree
-// internals and must not be mutated.
+// number of comparison operations spent. The returned slice may alias tree
+// internals and must not be mutated. Profiles parked in node extra sets by
+// incremental inserts are collected along the path; they match even when the
+// walk later dead-ends in a D₀ gap (they are don't-care below their node).
 func (t *Tree) Match(vals []float64) (matched []int, ops int) {
 	n := t.root
+	var acc []int // lazily allocated: only trees with incremental inserts carry extras
 	for {
+		if len(n.extra) > 0 {
+			acc = append(acc, n.extra...)
+		}
 		v := vals[n.Attr]
 		ei, stepOps := n.step(v, t.strategy)
 		ops += stepOps
 		if ei < 0 {
-			return nil, ops
+			return acc, ops
 		}
 		e := &n.edges[ei]
 		if e.Child == nil {
-			return e.Leaf, ops
+			if acc == nil {
+				return e.Profiles, ops
+			}
+			return append(acc, e.Profiles...), ops
 		}
 		n = e.Child
 	}
@@ -207,17 +216,24 @@ func (t *Tree) Match(vals []float64) (matched []int, ops int) {
 func (t *Tree) MatchPath(vals []float64) (matched []int, ops int, perLevel []int) {
 	perLevel = make([]int, 0, t.schema.N())
 	n := t.root
+	var acc []int
 	for {
+		if len(n.extra) > 0 {
+			acc = append(acc, n.extra...)
+		}
 		v := vals[n.Attr]
 		ei, stepOps := n.step(v, t.strategy)
 		ops += stepOps
 		perLevel = append(perLevel, stepOps)
 		if ei < 0 {
-			return nil, ops, perLevel
+			return acc, ops, perLevel
 		}
 		e := &n.edges[ei]
 		if e.Child == nil {
-			return e.Leaf, ops, perLevel
+			if acc == nil {
+				return e.Profiles, ops, perLevel
+			}
+			return append(acc, e.Profiles...), ops, perLevel
 		}
 		n = e.Child
 	}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"genas/internal/predicate"
 	"genas/internal/schema"
@@ -94,15 +95,18 @@ type Edge struct {
 	// Iv is the subrange of a EdgeSubrange edge (unused for the others).
 	Iv schema.Interval
 	// Profiles are the dense indices of profiles continuing through the
-	// edge (constraining profiles plus riders for subrange edges).
+	// edge (constraining profiles plus riders for subrange edges). On a leaf
+	// edge (Child == nil) this doubles as the match set — a separate Leaf
+	// field would hold the identical slice while widening every edge the
+	// churn path has to copy by a quarter.
 	Profiles []int
-	// Child is the next level's node (nil only at the leaf level, where
-	// Leaf holds the match set).
+	// Child is the next level's node; nil at the leaf level, where Profiles
+	// is the match set.
 	Child *Node
-	// Leaf holds the matched profile indices when the edge leaves the last
-	// level.
-	Leaf []int
 }
+
+// Leaf returns the match set of a leaf-level edge.
+func (e *Edge) Leaf() []int { return e.Profiles }
 
 // bucket is one piece of the domain partition at a node, in natural order.
 // Buckets cover the entire domain: subrange edges, complement pieces (mapped
@@ -131,6 +135,12 @@ type Node struct {
 	// nSubrange counts the leading subrange edges (edges[:nSubrange] are in
 	// natural ascending order; a complement or star edge follows, if any).
 	nSubrange int
+	// extra lists profiles matched by every event reaching this node
+	// (incremental inserts place a profile here when all levels from this
+	// one down are don't-care for it, instead of rewriting every leaf of
+	// the subtree). Build never sets it; a coalescing rebuild folds the
+	// indices back into the leaf sets.
+	extra []int
 	// discrete marks integer/categorical attribute domains, where hash
 	// search can index individual values.
 	discrete bool
@@ -141,21 +151,72 @@ type Node struct {
 // Edges exposes the node's edges (shared slice; callers must not mutate).
 func (n *Node) Edges() []Edge { return n.edges }
 
+// graphMeta holds the per-level node lists and size statistics of one node
+// graph. It hangs off the Tree behind a pointer so that trees sharing a
+// graph (WithoutProfile tombstone successors) share the meta, and so that
+// incremental successors (WithProfile) can defer the full-graph walk until
+// Levels or Stats is actually consulted — the churn path never pays it.
+type graphMeta struct {
+	once   sync.Once
+	levels [][]*Node // unique (shared) nodes per level
+	nodes  int
+	edges  int
+	shared int // extra references to shared nodes (memoization hits)
+}
+
+// fill computes the meta by walking the node graph (lazy counterpart of the
+// builder's incremental bookkeeping).
+func (m *graphMeta) fill(root *Node, height int) {
+	m.levels = make([][]*Node, height)
+	m.nodes, m.edges, m.shared = 0, 0, 0
+	seen := make(map[*Node]bool, 64)
+	stack := make([]*Node, 0, 64)
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			m.shared++
+			continue
+		}
+		seen[n] = true
+		m.nodes++
+		m.edges += len(n.edges)
+		m.levels[n.Level] = append(m.levels[n.Level], n)
+		for i := range n.edges {
+			if c := n.edges[i].Child; c != nil {
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
 // Tree is the profile tree plus its search configuration.
 type Tree struct {
 	schema    *schema.Schema
 	profiles  []*predicate.Profile
 	attrOrder []int // attrOrder[level] = schema attribute index
 	root      *Node
-	levels    [][]*Node // unique (shared) nodes per level
 	strategy  Search
-	// cons caches canonical constraints per attribute and profile during
-	// construction; nil afterwards.
+	// cons holds canonical constraints per attribute and profile. Build
+	// fills it and keeps it: the incremental transforms (WithProfile)
+	// consult it for every profile riding through a split bucket.
 	cons [][]subrange.Constraint
+	// dead marks tombstoned profile indices: WithoutProfile does not touch
+	// the node graph, it only records the index here, and match translation
+	// skips dead indices. A coalescing rebuild clears the tombstones.
+	dead      []bool
+	deadCount int
 
-	nodes  int
-	edges  int
-	shared int // memoization hits during construction
+	meta *graphMeta
+}
+
+// ensureMeta returns the graph meta, computing it on first use. Safe under
+// concurrent readers of a published tree (sync.Once).
+func (t *Tree) ensureMeta() *graphMeta {
+	m := t.meta
+	m.once.Do(func() { m.fill(t.root, t.schema.N()) })
+	return m
 }
 
 // Option configures tree construction.
@@ -201,7 +262,7 @@ func Build(s *schema.Schema, profiles []*predicate.Profile, opts ...Option) (*Tr
 		profiles:  profiles,
 		attrOrder: cfg.attrOrder,
 		strategy:  cfg.strategy,
-		levels:    make([][]*Node, s.N()),
+		meta:      &graphMeta{levels: make([][]*Node, s.N())},
 	}
 
 	// Canonical intervals are cached per (profile, attribute): the builder
@@ -228,7 +289,8 @@ func Build(s *schema.Schema, profiles []*predicate.Profile, opts ...Option) (*Tr
 	}
 	memo := make(map[string]*Node)
 	t.root = t.build(all, 0, memo)
-	t.cons = nil // construction-only cache
+	// The builder tracked the meta incrementally; consume the lazy fill.
+	t.meta.once.Do(func() {})
 	t.applyNaturalOrder()
 	return t, nil
 }
@@ -252,7 +314,7 @@ func isPermutation(order []int, n int) bool {
 func (t *Tree) build(alive []int, level int, memo map[string]*Node) *Node {
 	key := strconv.Itoa(level) + "|" + subrange.Key(alive)
 	if n, ok := memo[key]; ok {
-		t.shared++
+		t.meta.shared++
 		return n
 	}
 
@@ -295,17 +357,17 @@ func (t *Tree) build(alive []int, level int, memo map[string]*Node) *Node {
 		n.buckets = mergeBuckets(dec, -1)
 	}
 
-	t.nodes++
-	t.edges += len(n.edges)
-	t.levels[level] = append(t.levels[level], n)
+	t.meta.nodes++
+	t.meta.edges += len(n.edges)
+	t.meta.levels[level] = append(t.meta.levels[level], n)
 	memo[key] = n
 	return n
 }
 
-// descend fills the edge target: a child node or a leaf match set.
+// descend fills the edge target: a child node, or nothing at the leaf level
+// (a leaf edge's Profiles already is its match set).
 func (t *Tree) descend(e *Edge, alive []int, level int, last bool, memo map[string]*Node) {
 	if last {
-		e.Leaf = alive
 		return
 	}
 	e.Child = t.build(alive, level+1, memo)
@@ -369,7 +431,21 @@ func (t *Tree) Root() *Node { return t.root }
 func (t *Tree) Schema() *schema.Schema { return t.schema }
 
 // Profiles returns the dense-indexed profile slice (shared; do not mutate).
+// Trees produced by WithoutProfile keep removed profiles in place as
+// tombstones — check Dead before translating a matched index.
 func (t *Tree) Profiles() []*predicate.Profile { return t.profiles }
+
+// Dead reports whether dense index pi is tombstoned (removed via
+// WithoutProfile without a rebuild). Matched indices for dead profiles must
+// be skipped during translation.
+func (t *Tree) Dead(pi int) bool { return pi < len(t.dead) && t.dead[pi] }
+
+// HasDead reports whether any tombstones exist, so the hot translation loop
+// can skip the per-index check in the common tombstone-free case.
+func (t *Tree) HasDead() bool { return t.deadCount > 0 }
+
+// LiveCount returns the number of non-tombstoned profiles.
+func (t *Tree) LiveCount() int { return len(t.profiles) - t.deadCount }
 
 // AttrOrder returns a copy of the attribute order.
 func (t *Tree) AttrOrder() []int { return append([]int(nil), t.attrOrder...) }
@@ -381,7 +457,8 @@ func (t *Tree) Strategy() Search { return t.strategy }
 func (t *Tree) SetStrategy(s Search) { t.strategy = s }
 
 // Levels returns the unique nodes per level (shared slices; do not mutate).
-func (t *Tree) Levels() [][]*Node { return t.levels }
+// On incremental successor trees the lists are computed lazily on first use.
+func (t *Tree) Levels() [][]*Node { return t.ensureMeta().levels }
 
 // Stats summarizes the automaton size.
 type Stats struct {
@@ -392,10 +469,11 @@ type Stats struct {
 
 // Stats returns automaton size statistics.
 func (t *Tree) Stats() Stats {
+	m := t.ensureMeta()
 	return Stats{
-		Nodes:        t.nodes,
-		Edges:        t.edges,
-		SharedHits:   t.shared,
+		Nodes:        m.nodes,
+		Edges:        m.edges,
+		SharedHits:   m.shared,
 		Height:       t.schema.N(),
 		ProfileCount: len(t.profiles),
 	}
@@ -433,8 +511,8 @@ func (t *Tree) dumpNode(b *strings.Builder, n *Node, depth int, seen map[*Node]b
 			t.dumpNode(b, e.Child, depth+2, seen)
 			continue
 		}
-		ids := make([]string, len(e.Leaf))
-		for i, pi := range e.Leaf {
+		ids := make([]string, len(e.Leaf()))
+		for i, pi := range e.Leaf() {
 			ids[i] = string(t.profiles[pi].ID)
 		}
 		fmt.Fprintf(b, "%s  %s -> {%s}\n", indent, label, strings.Join(ids, ","))
