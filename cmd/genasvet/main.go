@@ -1,23 +1,36 @@
 // Command genasvet runs the genas-specific static analysis suite
-// (internal/lint) over the module: locksafe, hotpath, senterr, and
-// ctxleak. It is the CI gate that keeps the repo's concurrency,
-// allocation, and error-wrapping invariants mechanical instead of
-// tribal.
+// (internal/lint) over the module: locksafe, hotpath, senterr, ctxleak,
+// snapfreeze, lockorder, golife, and atomicsafe. It is the CI gate that
+// keeps the repo's concurrency, allocation, and error-wrapping invariants
+// mechanical instead of tribal.
 //
 // Usage:
 //
-//	go run ./cmd/genasvet [-run analyzer[,analyzer]] [-list] [packages]
+//	go run ./cmd/genasvet [-run analyzer[,analyzer]] [-json] [-stale-allow=false] [-list] [packages]
 //
-// Packages default to ./... relative to the current directory. The exit
-// status is 1 when any diagnostic survives suppression, 2 on usage or
-// load errors.
+// Packages default to ./... relative to the current directory. Findings
+// print as file:line:col: analyzer: message with paths relative to the
+// working directory; -json instead emits one JSON object per finding
+// ({"file","line","analyzer","message","suppressed"}), including findings
+// held back by //genas:allow directives so tooling can see what the
+// suppressions cover. Stale-allow checking is on by default: an allow
+// directive that suppresses nothing, or that names an unknown analyzer,
+// is itself a finding. Allows for analyzers outside the -run selection
+// are never counted stale; -stale-allow=false exists for partial
+// *package* runs, where the cross-package facts behind a finding may
+// live outside the analyzed set.
+//
+// The exit status is 1 when any unsuppressed diagnostic remains, 2 on
+// usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"genas/internal/lint"
 )
@@ -26,13 +39,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("genasvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	runNames := fs.String("run", "", "comma-separated analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding (includes suppressed findings)")
+	staleAllow := fs.Bool("stale-allow", true, "report allow directives that suppress nothing")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: genasvet [-run analyzer[,analyzer]] [-list] [packages]")
+		fmt.Fprintln(stderr, "usage: genasvet [-run analyzer[,analyzer]] [-json] [-stale-allow=false] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -62,13 +87,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	opts := lint.Options{StaleAllow: *staleAllow, KeepSuppressed: *jsonOut}
+	diags := lint.RunOpts(pkgs, analyzers, opts)
+
+	wd, _ := os.Getwd()
+	failing := 0
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+		if !d.Suppressed {
+			failing++
+		}
+		file := relPath(wd, d.Pos.Filename)
+		if *jsonOut {
+			enc.Encode(jsonDiag{
+				File:       file,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "genasvet: %d finding(s)\n", len(diags))
+	if failing > 0 {
+		fmt.Fprintf(stderr, "genasvet: %d finding(s)\n", failing)
 		return 1
 	}
 	return 0
+}
+
+// relPath shortens an absolute diagnostic path to be relative to the
+// working directory when that makes it shorter and keeps it inside the
+// tree; anything else (other volumes, parent escapes) stays as-is.
+func relPath(wd, path string) string {
+	if wd == "" || !filepath.IsAbs(path) {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return path
+	}
+	return rel
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -28,10 +29,54 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("genasvet -list = %d, want 0", code)
 	}
-	for _, name := range []string{"locksafe", "hotpath", "senterr", "ctxleak"} {
+	for _, name := range []string{"locksafe", "hotpath", "senterr", "ctxleak", "snapfreeze", "lockorder", "golife", "atomicsafe"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
 		}
+	}
+}
+
+// TestJSONOutput runs the full CLI pipeline against the self-contained
+// module under testdata/jsonmod (one live finding, one suppressed) and
+// compares the -json stream against the golden file. The golden covers
+// the wire format end to end: field names, path relativization, and the
+// suppressed findings that only -json surfaces.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	golden, err := os.ReadFile("testdata/jsonmod.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir("testdata/jsonmod")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("genasvet -json . = %d, want 1 (one live finding)\nstderr:\n%s", code, stderr.String())
+	}
+	if got, want := stdout.String(), string(golden); got != want {
+		t.Errorf("-json output mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Errorf("stderr should count only unsuppressed findings, got: %s", stderr.String())
+	}
+}
+
+// TestTextOutput checks that the default text mode drops suppressed
+// findings and prints relative paths with the file:line:col: analyzer:
+// message shape the CI problem matcher parses.
+func TestTextOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	t.Chdir("testdata/jsonmod")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("genasvet . = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	want := "jsonmod.go:13:9: hotpath: fmt.Sprintf allocates on the hot path\n"
+	if got := stdout.String(); got != want {
+		t.Errorf("text output = %q, want %q", got, want)
 	}
 }
 

@@ -1,0 +1,22 @@
+// Package jsonmod is a minimal self-contained module the genasvet CLI
+// tests run the real binary pipeline against: it produces exactly one
+// unsuppressed finding and one suppressed finding at fixed positions, so
+// the -json output can be compared against a golden file byte for byte.
+package jsonmod
+
+import "fmt"
+
+// Hot allocates via fmt in a hot function: the unsuppressed finding.
+//
+//genas:hotpath
+func Hot(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+// Cold allocates too, but carries a live allow: the suppressed finding.
+//
+//genas:hotpath
+func Cold(n int) string {
+	//genas:allow hotpath cold diagnostics path, measured off the publish loop
+	return fmt.Sprint(n)
+}

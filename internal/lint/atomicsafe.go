@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicSafe enforces all-or-nothing atomicity per field: a struct field
+// or package-level variable ever accessed through sync/atomic — or
+// declared as one of the atomic.* wrapper types — must never be read or
+// written plainly. Mixing the two silently downgrades every atomic access
+// at that site to a data race; the engine's epoch pointer (Engine.snap)
+// and the dist histogram tallies are the values this protects.
+//
+// Three access modes are tracked. "field": &x.f passed to an atomic
+// function — every other appearance of x.f is flagged. "elem":
+// &x.f[i] passed to an atomic function — plain indexing of x.f is
+// flagged, while len/cap/range/re-slicing stay legal (the slice header is
+// not the atomic datum, its elements are). "declared": the field's type
+// lives in sync/atomic — only method calls (x.f.Load()) and address-takes
+// (&x.f) are legal; copying or reassigning the wrapper is flagged. Facts
+// cross packages in dependency order: a downstream package touching an
+// upstream atomic field plainly is caught where it happens.
+var AtomicSafe = &Analyzer{
+	Name: "atomicsafe",
+	Doc:  "a field accessed via sync/atomic (or of atomic.* type) must never be accessed plainly",
+	Run:  runAtomicSafe,
+}
+
+// atomicFact keys one atomic datum in Pass.Shared:
+// "atomic:<pkgpath>.<Type>.<field>" (or "atomic:<pkgpath>.<var>") -> mode.
+func atomicFact(owner string) string { return "atomic:" + owner }
+
+const (
+	atomicModeField    = "field"
+	atomicModeElem     = "elem"
+	atomicModeDeclared = "declared"
+)
+
+func runAtomicSafe(pass *Pass) {
+	// Sub-pass 1a: fields declared with sync/atomic wrapper types.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					tv, ok := pass.Info.Types[field.Type]
+					if !ok || !isAtomicWrapper(tv.Type) {
+						continue
+					}
+					for _, name := range field.Names {
+						owner := pass.Pkg.Path() + "." + ts.Name.Name + "." + name.Name
+						pass.Shared[atomicFact(owner)] = atomicModeDeclared
+					}
+				}
+			}
+		}
+	}
+
+	// Sub-pass 1b: data reached through &… arguments of sync/atomic calls,
+	// plus the sanctioned subtrees those arguments form.
+	sanctioned := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			sanctioned[arg] = true
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			switch target := ast.Unparen(un.X).(type) {
+			case *ast.IndexExpr:
+				if owner := atomicOwner(pass, target.X); owner != "" {
+					recordAtomicMode(pass, owner, atomicModeElem)
+				}
+			case *ast.SelectorExpr, *ast.Ident:
+				if owner := atomicOwner(pass, target); owner != "" {
+					recordAtomicMode(pass, owner, atomicModeField)
+				}
+			}
+			return true
+		})
+	}
+
+	// Sub-pass 2: flag plain accesses. Parent tracking distinguishes a
+	// method call on a declared wrapper (legal) from a copy (not).
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			var parent ast.Node
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			ok := checkAtomicUse(pass, n, parent, sanctioned)
+			if ok {
+				stack = append(stack, n)
+			}
+			return ok
+		})
+	}
+}
+
+// checkAtomicUse inspects one node; returning false prunes the subtree.
+func checkAtomicUse(pass *Pass, n, parent ast.Node, sanctioned map[ast.Node]bool) bool {
+	if sanctioned[n] {
+		return false // inside an atomic call's pointer argument
+	}
+	switch n := n.(type) {
+	case *ast.IndexExpr:
+		owner := atomicOwner(pass, n.X)
+		if owner == "" {
+			return true
+		}
+		if mode, _ := pass.Shared[atomicFact(owner)].(string); mode == atomicModeElem {
+			pass.Reportf(n.Pos(), "plain element access of %s, whose elements are accessed with sync/atomic elsewhere", owner)
+			return false
+		}
+	case *ast.SelectorExpr, *ast.Ident:
+		expr := n.(ast.Expr)
+		owner := atomicOwner(pass, expr)
+		if owner == "" {
+			return true
+		}
+		mode, _ := pass.Shared[atomicFact(owner)].(string)
+		switch mode {
+		case atomicModeField:
+			pass.Reportf(n.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere", owner)
+			return false
+		case atomicModeDeclared:
+			if !wrapperUseOK(parent, expr) {
+				pass.Reportf(n.Pos(), "%s has an atomic wrapper type; use its methods, not a plain copy or store", owner)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// wrapperUseOK reports a legal appearance of a declared atomic wrapper:
+// as the receiver of a method selection, or having its address taken.
+func wrapperUseOK(parent ast.Node, expr ast.Expr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == expr
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// atomicOwner names the datum an expression denotes, matching the fact
+// key grammar: "<pkgpath>.<Type>.<field>" for a struct field selection,
+// "<pkgpath>.<name>" for a package-level variable, "" otherwise.
+func atomicOwner(pass *Pass, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.Info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return ""
+		}
+		named := namedOf(sel.Recv())
+		if named == nil || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		v, ok := pass.Info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+			return ""
+		}
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+// recordAtomicMode publishes a mode fact; "field" (whole-datum atomicity)
+// wins over "elem" when both are observed.
+func recordAtomicMode(pass *Pass, owner, mode string) {
+	key := atomicFact(owner)
+	if prev, ok := pass.Shared[key].(string); ok {
+		if prev == atomicModeDeclared || prev == atomicModeField {
+			return
+		}
+	}
+	pass.Shared[key] = mode
+}
+
+// isAtomicCall recognizes a call to a sync/atomic package function
+// (Add*/Load*/Store*/Swap*/CompareAndSwap*).
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := staticCallee(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := fn.Name()
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicWrapper reports a named type from sync/atomic (Int64, Uint32,
+// Bool, Value, Pointer[T], …).
+func isAtomicWrapper(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

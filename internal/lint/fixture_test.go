@@ -155,9 +155,16 @@ func collectWants(t *testing.T, pkgs []*Package) map[string][]string {
 // markers.
 func runFixture(t *testing.T, a *Analyzer, pkgs []fixturePkg) {
 	t.Helper()
+	runFixtureOpts(t, a, pkgs, Options{})
+}
+
+// runFixtureOpts is runFixture with explicit run options (the stale-allow
+// fixture needs StaleAllow on).
+func runFixtureOpts(t *testing.T, a *Analyzer, pkgs []fixturePkg, opts Options) {
+	t.Helper()
 	loaded := loadFixture(t, pkgs)
 	wants := collectWants(t, loaded)
-	diags := Run(loaded, []*Analyzer{a})
+	diags := RunOpts(loaded, []*Analyzer{a}, opts)
 
 	for _, d := range diags {
 		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
@@ -215,4 +222,61 @@ func TestCtxLeakFixture(t *testing.T) {
 // malformed suppression.
 func TestAllowDirectiveNeedsReason(t *testing.T) {
 	runFixture(t, HotPath, []fixturePkg{{path: "fix/badallow", dir: fixtureDir("badallow")}})
+}
+
+func TestSnapFreezeFixture(t *testing.T) {
+	runFixture(t, SnapFreeze, []fixturePkg{
+		{path: "fix/snapfreeze/types", dir: fixtureDir(filepath.Join("snapfreeze", "types"))},
+		{path: "fix/snapfreeze/user", dir: fixtureDir(filepath.Join("snapfreeze", "user"))},
+	})
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	runFixture(t, LockOrder, []fixturePkg{
+		{path: "fix/lockorder/base", dir: fixtureDir(filepath.Join("lockorder", "base"))},
+		{path: "fix/lockorder/user", dir: fixtureDir(filepath.Join("lockorder", "user"))},
+	})
+}
+
+func TestGoLifeFixture(t *testing.T) {
+	runFixture(t, GoLife, []fixturePkg{{path: "fix/golife", dir: fixtureDir("golife")}})
+}
+
+func TestAtomicSafeFixture(t *testing.T) {
+	runFixture(t, AtomicSafe, []fixturePkg{{path: "fix/atomicsafe", dir: fixtureDir("atomicsafe")}})
+}
+
+// TestStaleAllowFixture drives the stale-allow mode: a live suppression
+// stays silent, a dead one and a misspelled analyzer name both fire.
+func TestStaleAllowFixture(t *testing.T) {
+	runFixtureOpts(t, HotPath, []fixturePkg{{path: "fix/staleallow", dir: fixtureDir("staleallow")}},
+		Options{StaleAllow: true})
+}
+
+// TestKeepSuppressed pins the -json contract: with KeepSuppressed the
+// allowed hotpath finding comes back marked Suppressed instead of dropped.
+func TestKeepSuppressed(t *testing.T) {
+	loaded := loadFixture(t, []fixturePkg{{path: "fix/staleallow", dir: fixtureDir("staleallow")}})
+	diags := RunOpts(loaded, []*Analyzer{HotPath}, Options{KeepSuppressed: true})
+	var suppressed []Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed = append(suppressed, d)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("want exactly 1 suppressed diagnostic, got %d (all: %v)", len(suppressed), diags)
+	}
+	if got := suppressed[0].Analyzer; got != "hotpath" {
+		t.Errorf("suppressed diagnostic analyzer = %q, want hotpath", got)
+	}
+	plain := Run(loaded, []*Analyzer{HotPath})
+	for _, d := range plain {
+		if d.Suppressed {
+			t.Errorf("default Run leaked a suppressed diagnostic: %s", d)
+		}
+		if d.Analyzer == "hotpath" {
+			t.Errorf("default Run should drop the allowed finding, got: %s", d)
+		}
+	}
 }

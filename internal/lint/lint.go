@@ -2,8 +2,12 @@
 // checks that mechanically enforce the invariants the engine's throughput
 // depends on — no blocking work under shard/broker locks (locksafe), a
 // zero-allocation publish hot path (hotpath), sentinel-wrapped errors on
-// the public surface (senterr), and no context misuse in library code
-// (ctxleak).
+// the public surface (senterr), no context misuse in library code
+// (ctxleak) — and, since the epoch/RCU rebuild, the concurrency
+// architecture itself: published snapshots stay immutable (snapfreeze),
+// mutexes acquire in one global order (lockorder), spawned goroutines
+// provably terminate or are joined (golife), and fields touched through
+// sync/atomic are never accessed plainly (atomicsafe).
 //
 // The framework is a deliberately small, dependency-free analogue of
 // golang.org/x/tools/go/analysis (which this module does not vendor):
@@ -67,6 +71,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding covered by an allow directive. Run drops
+	// suppressed findings unless Options.KeepSuppressed retains them (the
+	// -json mode does, so tooling can see what the allows are holding back).
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -74,11 +82,15 @@ func (d Diagnostic) String() string {
 }
 
 // AllowPrefix introduces a suppression comment; DirectivePrefix covers every
-// genasvet source directive (hotpath annotations included).
+// genasvet source directive (hotpath annotations included). FrozenMarker
+// annotates a type whose values are immutable once published; BuilderMarker
+// annotates the construction functions allowed to write them (snapfreeze).
 const (
 	DirectivePrefix = "//genas:"
 	AllowPrefix     = "//genas:allow"
 	HotpathMarker   = "//genas:hotpath"
+	FrozenMarker    = "//genas:frozen"
+	BuilderMarker   = "//genas:builder"
 )
 
 // allowKey identifies one suppression: an analyzer name on a source line.
@@ -88,13 +100,25 @@ type allowKey struct {
 	analyzer string
 }
 
+// allowDirective is one parsed //genas:allow comment. used counts the
+// diagnostics it suppressed during a run, so directives excusing nothing
+// can be reported as stale.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	used     int
+}
+
 // collectAllows scans a file's comments for allow directives. A directive
 // suppresses matching diagnostics on its own line and on the following
 // line (so it can sit above the statement it excuses). Malformed
 // directives are returned as diagnostics of the pseudo-analyzer
-// "genasvet".
-func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, []Diagnostic) {
-	allows := make(map[allowKey]bool)
+// "genasvet". The returned slice preserves source order for deterministic
+// stale-allow reporting; both map entries of a directive share one
+// *allowDirective, so a use through either line is counted once.
+func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]*allowDirective, []*allowDirective, []Diagnostic) {
+	allows := make(map[allowKey]*allowDirective)
+	var directives []*allowDirective
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -113,18 +137,20 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (map[allowKey]bool, [
 					})
 					continue
 				}
+				d := &allowDirective{pos: pos, analyzer: fields[0]}
+				directives = append(directives, d)
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					allows[allowKey{file: pos.Filename, line: line, analyzer: fields[0]}] = true
+					allows[allowKey{file: pos.Filename, line: line, analyzer: fields[0]}] = d
 				}
 			}
 		}
 	}
-	return allows, bad
+	return allows, directives, bad
 }
 
 // Analyzers returns the full genasvet suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockSafe, HotPath, SentErr, CtxLeak}
+	return []*Analyzer{LockSafe, HotPath, SentErr, CtxLeak, SnapFreeze, LockOrder, GoLife, AtomicSafe}
 }
 
 // ByName resolves a comma-separated analyzer selection against the suite.
@@ -147,16 +173,39 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// Options tunes a run beyond the analyzer selection.
+type Options struct {
+	// StaleAllow additionally reports, per package, every allow directive
+	// that suppressed nothing for an analyzer that actually ran — a
+	// suppression that outlived the finding it excused — and every
+	// directive naming an analyzer that does not exist.
+	StaleAllow bool
+	// KeepSuppressed retains suppressed diagnostics in the result, marked
+	// Suppressed, instead of dropping them.
+	KeepSuppressed bool
+}
+
 // Run executes the analyzers over every package, in dependency order, and
 // returns the surviving (unsuppressed) diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunOpts(pkgs, analyzers, Options{})
+}
+
+// RunOpts is Run with explicit Options.
+func RunOpts(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
 	var diags []Diagnostic
 	shared := make(map[*Analyzer]map[string]any, len(analyzers))
+	running := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		shared[a] = make(map[string]any)
+		running[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
 	}
 	for _, pkg := range pkgs {
-		allows, bad := collectAllows(pkg.Fset, pkg.Files)
+		allows, directives, bad := collectAllows(pkg.Fset, pkg.Files)
 		diags = append(diags, bad...)
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -168,12 +217,34 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Shared:   shared[a],
 			}
 			pass.report = func(d Diagnostic) {
-				if allows[allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}] {
-					return
+				if dir := allows[allowKey{file: d.Pos.Filename, line: d.Pos.Line, analyzer: d.Analyzer}]; dir != nil {
+					dir.used++
+					if !opts.KeepSuppressed {
+						return
+					}
+					d.Suppressed = true
 				}
 				diags = append(diags, d)
 			}
 			a.Run(pass)
+		}
+		if opts.StaleAllow {
+			for _, dir := range directives {
+				switch {
+				case !known[dir.analyzer]:
+					diags = append(diags, Diagnostic{
+						Pos:      dir.pos,
+						Analyzer: "genasvet",
+						Message:  fmt.Sprintf("allow directive names unknown analyzer %q", dir.analyzer),
+					})
+				case running[dir.analyzer] && dir.used == 0:
+					diags = append(diags, Diagnostic{
+						Pos:      dir.pos,
+						Analyzer: "genasvet",
+						Message:  fmt.Sprintf("stale allow: %s reports nothing on this line or the next; delete the directive", dir.analyzer),
+					})
+				}
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

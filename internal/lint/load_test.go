@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module under a temp dir: files maps
+// a module-relative path to its contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadModule drives the full loader against a two-package module and
+// checks everything the runner depends on: only the pattern-matched
+// packages come back (dependencies stay export data), they are typed, and
+// they arrive in dependency order with imports recorded.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixload\n\ngo 1.24\n",
+		"inner/inner.go": `package inner
+
+// Answer is consumed downstream.
+func Answer() int { return 42 }
+`,
+		"outer/outer.go": `package outer
+
+import (
+	"fmt"
+
+	"fixload/inner"
+)
+
+// Show exercises a cross-package and a std call.
+func Show() string { return fmt.Sprint(inner.Answer()) }
+`,
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2 (deps must stay export-only): %v", len(pkgs), pkgs)
+	}
+	if pkgs[0].Path != "fixload/inner" || pkgs[1].Path != "fixload/outer" {
+		t.Fatalf("packages out of dependency order: %s, %s", pkgs[0].Path, pkgs[1].Path)
+	}
+	outer := pkgs[1]
+	if outer.Types == nil || outer.Info == nil || len(outer.Files) != 1 {
+		t.Fatalf("outer package not fully loaded: %+v", outer)
+	}
+	found := false
+	for _, imp := range outer.Imports {
+		if imp == "fixload/inner" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("outer.Imports = %v, missing fixload/inner", outer.Imports)
+	}
+	if outer.Types.Scope().Lookup("Show") == nil {
+		t.Error("type-checked outer package has no Show in scope")
+	}
+}
+
+// TestLoadTypeError ensures a broken package surfaces as an error instead
+// of a half-loaded result.
+func TestLoadTypeError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixbroken\n\ngo 1.24\n",
+		"b.go":   "package b\n\nfunc Bad() int { return undefinedIdent }\n",
+	})
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load of a package with a type error succeeded, want error")
+	}
+}
+
+// TestLoadNoMatch covers the pattern-matches-nothing error path.
+func TestLoadNoMatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list")
+	}
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module fixempty\n\ngo 1.24\n",
+		"e.go":   "package e\n",
+	})
+	if _, err := Load(dir, "./definitely/absent/..."); err == nil {
+		t.Fatal("Load with an unmatched pattern succeeded, want error")
+	}
+}
+
+// TestSortByDependency checks the ordering invariant directly on a
+// synthetic graph: every package follows its loaded imports, unlisted
+// imports are ignored, and unrelated packages keep stable path order.
+func TestSortByDependency(t *testing.T) {
+	mk := func(path string, imports ...string) *Package {
+		return &Package{Path: path, Imports: imports}
+	}
+	pkgs := []*Package{
+		mk("m/z"),
+		mk("m/c", "m/b", "fmt"),
+		mk("m/a"),
+		mk("m/b", "m/a", "golang.org/x/not/loaded"),
+	}
+	sortByDependency(pkgs)
+
+	pos := make(map[string]int, len(pkgs))
+	var order []string
+	for i, p := range pkgs {
+		pos[p.Path] = i
+		order = append(order, p.Path)
+	}
+	got := strings.Join(order, " ")
+	if pos["m/a"] > pos["m/b"] || pos["m/b"] > pos["m/c"] {
+		t.Errorf("dependency order violated: %s", got)
+	}
+	if pos["m/a"] != 0 {
+		t.Errorf("stable tie-break should put m/a first (path order among roots): %s", got)
+	}
+	if len(pkgs) != 4 {
+		t.Fatalf("sort changed package count: %s", got)
+	}
+}

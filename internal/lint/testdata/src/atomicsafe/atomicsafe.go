@@ -1,0 +1,61 @@
+// Package atomicsafe exercises the all-or-nothing atomicity rule: once a
+// datum is touched through sync/atomic (or declared as a wrapper type),
+// every plain access of it is a race.
+package atomicsafe
+
+import "sync/atomic"
+
+// Hist mixes the three tracked modes: a whole-field atomic total, a slice
+// with atomic elements, and a declared wrapper.
+type Hist struct {
+	total  int64
+	counts []int64
+	snap   atomic.Int64
+}
+
+// ops is a package-level atomic counter.
+var ops int64
+
+// NewHist builds the struct through composite-literal keys: no selector
+// access, nothing to flag.
+func NewHist(n int) *Hist {
+	return &Hist{counts: make([]int64, n)}
+}
+
+// Add is the sanctioned pattern: every access goes through sync/atomic.
+func (h *Hist) Add(bin int) {
+	atomic.AddInt64(&h.total, 1)
+	atomic.AddInt64(&h.counts[bin], 1)
+	atomic.AddInt64(&ops, 1)
+}
+
+// Racy mixes plain accesses into the same data.
+func (h *Hist) Racy(bin int) int64 {
+	h.total++          // want "plain access of"
+	v := h.counts[bin] // want "plain element access of"
+	ops = 3            // want "plain access of"
+	s := h.snap.Load()
+	_ = s
+	w := h.snap // want "atomic wrapper type"
+	_ = w
+	return v
+}
+
+// Size touches only the slice header of an elem-mode datum: legal.
+func (h *Hist) Size() int { return len(h.counts) }
+
+// Snapshot reads every element through sync/atomic; ranging over the
+// slice (header-only) is legal.
+func (h *Hist) Snapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = atomic.LoadInt64(&h.counts[i])
+	}
+	return out
+}
+
+// Wrapper methods and address-takes are the two legal wrapper shapes.
+func (h *Hist) Load() int64        { return h.snap.Load() }
+func (h *Hist) Ref() *atomic.Int64 { return &h.snap }
+func (h *Hist) Total() int64       { return atomic.LoadInt64(&h.total) }
+func (h *Hist) Ops() int64         { return atomic.LoadInt64(&ops) }

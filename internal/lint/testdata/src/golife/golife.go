@@ -1,0 +1,97 @@
+// Package golife exercises every goroutine-lifecycle verdict: unbounded
+// bodies fire, close-fence receives, WaitGroup joins, and bounded bodies
+// stay quiet, and function-value spawns are unprovable by construction.
+package golife
+
+import (
+	"context"
+	"sync"
+)
+
+// forever loops with no exit path: the canonical leak.
+func forever() {
+	for {
+	}
+}
+
+// spin leaks transitively through a package-local call.
+func spin() { forever() }
+
+// Spawn starts one goroutine of every judged shape.
+func Spawn(ctx context.Context, wg *sync.WaitGroup, ch chan int, f func()) {
+	go forever() // want "no provable termination"
+
+	go spin() // want "no provable termination"
+
+	go func() { // want "no provable termination"
+		for {
+			work()
+		}
+	}()
+
+	go func() { // want "no provable termination"
+		forever()
+	}()
+
+	go f() // want "started through a function value"
+
+	// Quiet: the select receives the close fence; the loop is cancellable.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+
+	// Quiet: joined — a hang is a visible deadlock, not a silent leak.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+
+	// Quiet: bounded loop, the body terminates on its own.
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+
+	// Quiet: range over a channel ends at close.
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+
+	// Quiet: the static callee waits on its channel.
+	go drain(ch)
+
+	// Quiet: an unbounded loop with a return under a condition has an
+	// exit path.
+	go supervise(ch)
+}
+
+func work() {}
+
+// drain receives until close.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// supervise loops forever syntactically but can leave.
+func supervise(ch chan int) {
+	for {
+		if cap(ch) == 0 {
+			return
+		}
+		work()
+	}
+}

@@ -1,0 +1,19 @@
+// Package base pins the canonical lock order the lockorder fixture
+// inverts downstream: T1.Mu strictly before T2.Mu.
+package base
+
+import "sync"
+
+// T1 is the lock that must come first.
+type T1 struct{ Mu sync.Mutex }
+
+// T2 comes second in the canonical order.
+type T2 struct{ Mu sync.Mutex }
+
+// FirstThenSecond establishes the T1→T2 edge.
+func FirstThenSecond(a *T1, b *T2) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+}

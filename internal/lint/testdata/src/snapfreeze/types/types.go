@@ -1,0 +1,50 @@
+// Package types declares the frozen snapshot shapes the snapfreeze
+// fixture protects, mirroring internal/tree's Node/Edge.
+package types
+
+// Node is one immutable snapshot node.
+//
+//genas:frozen
+type Node struct {
+	Attr     int
+	Profiles []int
+	Edges    []Edge
+	Index    map[string]int
+}
+
+// Edge is one immutable transition.
+//
+//genas:frozen
+type Edge struct {
+	Kind     int
+	Profiles []int
+	Child    *Node
+}
+
+// NewNode is a designated construction site: writes are legal here.
+//
+//genas:builder
+func NewNode(attr int) *Node {
+	n := &Node{Attr: attr, Index: make(map[string]int)}
+	n.Profiles = append(n.Profiles, attr)
+	n.Edges = append(n.Edges, Edge{Kind: 1})
+	n.Index["root"] = attr
+	return n
+}
+
+// Mutate is a same-package violation: no builder annotation.
+func Mutate(n *Node) {
+	n.Attr = 1 // want "write to frozen type types.Node"
+}
+
+// Read-only traversal is always legal.
+func Sum(n *Node) int {
+	total := len(n.Profiles)
+	for _, e := range n.Edges {
+		total += e.Kind
+	}
+	if v, ok := n.Index["root"]; ok {
+		total += v
+	}
+	return total
+}

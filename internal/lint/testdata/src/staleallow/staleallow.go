@@ -1,0 +1,26 @@
+// Package staleallow exercises stale-allow detection: a live suppression
+// counts its use and survives; one that excuses nothing is itself a
+// finding, as is one naming an analyzer that does not exist.
+package staleallow
+
+import "fmt"
+
+// hot has one real hotpath finding, suppressed by a live allow.
+//
+//genas:hotpath
+func hot(x int) string {
+	//genas:allow hotpath the format path is cold by construction
+	return fmt.Sprintf("%d", x)
+}
+
+// cold carries an allow that suppresses nothing.
+func cold(x int) int {
+	//genas:allow hotpath nothing fires here anymore // want "stale allow: hotpath reports nothing"
+	return x + 1
+}
+
+// typo names an analyzer that does not exist.
+func typo(x int) int {
+	//genas:allow hotpaths typo in the analyzer name // want "unknown analyzer"
+	return x
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// utilSrc packs one specimen of every call shape the helpers classify.
+const utilSrc = `package u
+
+import (
+	"fmt"
+	"sync"
+)
+
+type T struct {
+	mu sync.Mutex
+	rw *sync.RWMutex
+	cb func()
+}
+
+var fn = func() {}
+
+func named() {}
+
+func (t *T) method() {}
+
+func drive(t *T, f func(), xs []int) {
+	named()
+	t.method()
+	fmt.Sprintf("%d", 0)
+	f()
+	t.cb()
+	fn()
+	_ = len(xs)
+	_ = int64(len(xs))
+	func() {}()
+}
+`
+
+// typecheckSrc parses and type-checks one source string against the
+// fixture harness's std export data.
+func typecheckSrc(t *testing.T, src string) (*ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "u.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := newInfo()
+	cfg := types.Config{Importer: exportImporter(fset, exports)}
+	pkg, err := cfg.Check("u", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, info, pkg
+}
+
+// callsByShape indexes every call in drive by the rendering of its callee
+// expression (which doubles as an exprString exercise).
+func callsByShape(t *testing.T, f *ast.File) map[string]*ast.CallExpr {
+	t.Helper()
+	out := make(map[string]*ast.CallExpr)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			out[exprString(call.Fun)] = call
+		}
+		return true
+	})
+	return out
+}
+
+func TestStaticCallee(t *testing.T) {
+	f, info, _ := typecheckSrc(t, utilSrc)
+	calls := callsByShape(t, f)
+	cases := []struct {
+		shape string
+		full  string // "" means nil: not a static call
+	}{
+		{"named", "u.named"},
+		{"t.method", "(*u.T).method"},
+		{"fmt.Sprintf", "fmt.Sprintf"},
+		{"f", ""},
+		{"t.cb", ""},
+		{"fn", ""},
+		{"len", ""},
+		{"int64", ""},
+		{"?", ""}, // the immediately-invoked literal renders as "?"
+	}
+	for _, c := range cases {
+		call, ok := calls[c.shape]
+		if !ok {
+			t.Fatalf("no call with shape %q in specimen", c.shape)
+		}
+		fn := staticCallee(info, call)
+		switch {
+		case c.full == "" && fn != nil:
+			t.Errorf("staticCallee(%s) = %s, want nil", c.shape, funcFullName(fn))
+		case c.full != "" && fn == nil:
+			t.Errorf("staticCallee(%s) = nil, want %s", c.shape, c.full)
+		case c.full != "" && funcFullName(fn) != c.full:
+			t.Errorf("staticCallee(%s) = %s, want %s", c.shape, funcFullName(fn), c.full)
+		}
+	}
+}
+
+func TestIsDynamicCall(t *testing.T) {
+	f, info, _ := typecheckSrc(t, utilSrc)
+	calls := callsByShape(t, f)
+	cases := map[string]bool{
+		"named":       false, // declared function
+		"t.method":    false, // method invocation
+		"fmt.Sprintf": false, // package-qualified function
+		"f":           true,  // parameter
+		"t.cb":        true,  // func-typed field
+		"fn":          true,  // package-level func variable
+		"len":         false, // builtin
+		"int64":       false, // conversion
+		"?":           false, // immediately-invoked literal
+	}
+	for shape, want := range cases {
+		call, ok := calls[shape]
+		if !ok {
+			t.Fatalf("no call with shape %q in specimen", shape)
+		}
+		if got := isDynamicCall(info, call); got != want {
+			t.Errorf("isDynamicCall(%s) = %v, want %v", shape, got, want)
+		}
+	}
+}
+
+func TestIsMutex(t *testing.T) {
+	_, _, pkg := typecheckSrc(t, utilSrc)
+	st := pkg.Scope().Lookup("T").Type().Underlying().(*types.Struct)
+	want := map[string]bool{"mu": true, "rw": true, "cb": false}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if got := isMutex(fld.Type()); got != want[fld.Name()] {
+			t.Errorf("isMutex(%s %s) = %v, want %v", fld.Name(), fld.Type(), got, want[fld.Name()])
+		}
+	}
+	if isMutex(types.Typ[types.Int]) {
+		t.Error("isMutex(int) = true")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := map[string]string{
+		"a.b.c":        "a.b.c",
+		"(x)":          "x",
+		"xs[i]":        "xs[i]",
+		"g()":          "g()",
+		"*p":           "*p",
+		"&v":           "&v",
+		"T{}":          "?", // composite literal collapses to "?"
+		"m[k[i]].f":    "m[k[i]].f",
+		"(*p).f":       "*p.f", // parens drop: rendering is for humans, not parsing
+		"a + b":        "?",
+		"f(g(x))[0].y": "f()[?].y", // literal index collapses to "?"
+	}
+	for src, want := range cases {
+		e, err := parser.ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		if got := exprString(e); got != want {
+			t.Errorf("exprString(%s) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestHasDirective(t *testing.T) {
+	mk := func(lines ...string) *ast.CommentGroup {
+		cg := &ast.CommentGroup{}
+		for _, l := range lines {
+			cg.List = append(cg.List, &ast.Comment{Text: l})
+		}
+		return cg
+	}
+	cases := []struct {
+		doc    *ast.CommentGroup
+		marker string
+		want   bool
+	}{
+		{nil, HotpathMarker, false},
+		{mk("// Doc line.", "//genas:hotpath"), HotpathMarker, true},
+		{mk("//genas:hotpath reason text"), HotpathMarker, true},
+		{mk("//genas:hotpathextra"), HotpathMarker, false}, // no partial-prefix match
+		{mk("// genas:hotpath"), HotpathMarker, false},     // a space breaks a directive
+		{mk("//genas:frozen"), BuilderMarker, false},
+		{mk("//genas:builder"), BuilderMarker, true},
+	}
+	for i, c := range cases {
+		if got := hasDirective(c.doc, c.marker); got != c.want {
+			t.Errorf("case %d: hasDirective(%v, %q) = %v, want %v", i, c.doc, c.marker, got, c.want)
+		}
+	}
+}
+
+func TestIsTestFile(t *testing.T) {
+	if !isTestFile("foo_test.go") {
+		t.Error(`isTestFile("foo_test.go") = false`)
+	}
+	if isTestFile("foo.go") || isTestFile("test.go") {
+		t.Error("isTestFile misclassified a non-test file")
+	}
+}
+
+func TestDeclaredFuncs(t *testing.T) {
+	f, info, pkg := typecheckSrc(t, utilSrc)
+	pass := &Pass{Files: []*ast.File{f}, Info: info, Pkg: pkg}
+	decls := declaredFuncs(pass)
+	got := make(map[string]bool, len(decls))
+	for fn := range decls {
+		got[fn.Name()] = true
+	}
+	for _, name := range []string{"named", "method", "drive"} {
+		if !got[name] {
+			t.Errorf("declaredFuncs missing %q (got %v)", name, got)
+		}
+	}
+	if len(decls) != 3 {
+		t.Errorf("declaredFuncs returned %d functions, want 3 (%v)", len(decls), got)
+	}
+}

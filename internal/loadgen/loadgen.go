@@ -122,7 +122,11 @@ type ChurnSpec struct {
 }
 
 // Plan is the fully materialized, deterministic realization of a Scenario:
-// everything a driver consumes, with no randomness left.
+// everything a driver consumes, with no randomness left. Frozen: a built
+// plan is shared by drivers, oracles, and baseline comparisons — mutating
+// one would silently desynchronize recorded benchmarks.
+//
+//genas:frozen
 type Plan struct {
 	// Scenario is the spec the plan was built from.
 	Scenario Scenario
@@ -137,6 +141,9 @@ type Plan struct {
 }
 
 // ChurnStep swaps part of the population immediately before event index At.
+// Frozen alongside the Plan that carries it.
+//
+//genas:frozen
 type ChurnStep struct {
 	At     int
 	Remove []predicate.ID
@@ -281,6 +288,8 @@ func hotValues(dom schema.Domain, k int) []float64 {
 // the same scenario value produce byte-identical plans: a single seeded
 // generator drives event sampling, hot-key substitution, profile synthesis
 // and churn in a fixed order.
+//
+//genas:builder
 func Build(sc Scenario) (*Plan, error) {
 	c, err := sc.compile()
 	if err != nil {

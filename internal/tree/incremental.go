@@ -180,6 +180,8 @@ func (t *Tree) Reordered(vo ValueOrder) *Tree {
 	return &nt
 }
 
+//
+//genas:builder
 func cloneReordered(old *Node, vo ValueOrder, memo map[*Node]*Node) *Node {
 	if n, ok := memo[old]; ok {
 		return n
@@ -247,6 +249,8 @@ func (a *arena) node() *Node {
 }
 
 // edgeSlice commits a scratch-built edge list to arena storage.
+//
+//genas:builder
 func (a *arena) edgeSlice(src []Edge) []Edge {
 	if cap(a.edges)-len(a.edges) < len(src) {
 		a.edges = make([]Edge, 0, chunkCap(len(src), edgeChunk))
@@ -257,6 +261,8 @@ func (a *arena) edgeSlice(src []Edge) []Edge {
 }
 
 // bucketSlice commits a scratch-built bucket list to arena storage.
+//
+//genas:builder
 func (a *arena) bucketSlice(src []bucket) []bucket {
 	if cap(a.buckets)-len(a.buckets) < len(src) {
 		a.buckets = make([]bucket, 0, chunkCap(len(src), bucketChunk))
@@ -356,6 +362,8 @@ type ordEntry struct {
 
 // transform returns the successor node for an old node the new profile
 // reaches.
+//
+//genas:builder
 func (ins *inserter) transform(old *Node) *Node {
 	if n, ok := ins.memo[old]; ok {
 		return n
@@ -383,6 +391,8 @@ func (ins *inserter) transform(old *Node) *Node {
 // becomes np's complement region. When the old node had no D₀ gaps the
 // partition and ordering are structurally identical, so buckets, scan order
 // and position table are shared with the old node.
+//
+//genas:builder
 func (ins *inserter) dontCare(old *Node) *Node {
 	last := old.Level == ins.t.schema.N()-1
 	// extra (prior inserts' parked profiles) rides along unchanged: those
@@ -453,6 +463,8 @@ func (ins *inserter) dontCare(old *Node) *Node {
 // wholesale with only the edge index remapped; complement riders collapse
 // onto a single reused complement edge. np alone covers pieces cut out of
 // formerly-D₀ gaps, continuing into its single-profile chain.
+//
+//genas:builder
 func (ins *inserter) constrain(old *Node, ivs []schema.Interval) *Node {
 	last := old.Level == ins.t.schema.N()-1
 	n := ins.a.node()
@@ -564,6 +576,8 @@ func ivBefore(a, b schema.Interval) bool {
 // node (which dominated the churn path). Fresh regions cut out of the new
 // profile's intervals sit where their source bucket sat — not where a full
 // re-rank would put them; the coalescing rebuild restores the exact order.
+//
+//genas:builder
 func (ins *inserter) deriveOrder(n *Node, srcPos []int) {
 	entries := ins.ord[:0]
 	compBuckets := ins.compBuf[:0]
@@ -624,6 +638,8 @@ func (ins *inserter) deriveOrder(n *Node, srcPos []int) {
 
 // chain returns the single-profile node testing np's constraint at level,
 // shared by every edge through which np alone continues.
+//
+//genas:builder
 func (ins *inserter) chain(level int) *Node {
 	if n := ins.chains[level]; n != nil {
 		return n

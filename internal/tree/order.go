@@ -71,6 +71,8 @@ func (t *Tree) ApplyValueOrder(vo ValueOrder) {
 }
 
 // applyOrder ranks the node's buckets and rebuilds scan/orderPos.
+//
+//genas:builder
 func (n *Node) applyOrder(vo ValueOrder) {
 	type scored struct {
 		score float64

@@ -90,6 +90,13 @@ const (
 )
 
 // Edge is one labeled transition of the automaton.
+//
+// Frozen: once the tree is published through the engine's epoch pointer,
+// match goroutines read edges lock-free; every mutation must happen in a
+// //genas:builder construction site before publication (snapfreeze
+// enforces this).
+//
+//genas:frozen
 type Edge struct {
 	Kind EdgeKind
 	// Iv is the subrange of a EdgeSubrange edge (unused for the others).
@@ -110,7 +117,10 @@ func (e *Edge) Leaf() []int { return e.Profiles }
 
 // bucket is one piece of the domain partition at a node, in natural order.
 // Buckets cover the entire domain: subrange edges, complement pieces (mapped
-// to the complement edge) and D₀ gaps (edge == -1).
+// to the complement edge) and D₀ gaps (edge == -1). Frozen after
+// publication, like the nodes that hold them.
+//
+//genas:frozen
 type bucket struct {
 	iv   schema.Interval
 	edge int // index into Node.edges, or -1 for a D₀ gap
@@ -121,6 +131,12 @@ type bucket struct {
 }
 
 // Node is one automaton state.
+//
+// Frozen: published snapshots are read lock-free under the epoch/RCU
+// scheme; the incremental transforms clone instead of mutating. Writes are
+// restricted to //genas:builder functions.
+//
+//genas:frozen
 type Node struct {
 	// Level is the 0-based tree level; Attr the schema attribute tested.
 	Level int
@@ -311,6 +327,8 @@ func isPermutation(order []int, n int) bool {
 
 // build returns the (possibly shared) node for the alive profile set at the
 // given level.
+//
+//genas:builder
 func (t *Tree) build(alive []int, level int, memo map[string]*Node) *Node {
 	key := strconv.Itoa(level) + "|" + subrange.Key(alive)
 	if n, ok := memo[key]; ok {
@@ -366,6 +384,8 @@ func (t *Tree) build(alive []int, level int, memo map[string]*Node) *Node {
 
 // descend fills the edge target: a child node, or nothing at the leaf level
 // (a leaf edge's Profiles already is its match set).
+//
+//genas:builder
 func (t *Tree) descend(e *Edge, alive []int, level int, last bool, memo map[string]*Node) {
 	if last {
 		return
@@ -375,6 +395,8 @@ func (t *Tree) descend(e *Edge, alive []int, level int, last bool, memo map[stri
 
 // mergeBuckets builds the natural-order domain partition from the
 // decomposition. complementEdge is the edge index for gap pieces (−1 = D₀).
+//
+//genas:builder
 func mergeBuckets(dec subrange.Decomposition, complementEdge int) []bucket {
 	type piece struct {
 		iv   schema.Interval
