@@ -64,6 +64,7 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		node       = fs.String("node", "", "federation node name (required with -peer; enables broker peering)")
 		peer       = fs.String("peer", "", "comma-separated peer daemon addresses to dial, e.g. 'host1:7452,host2:7452'")
 		covering   = fs.Bool("covering", true, "prune covered routes from per-peer-link filters (federation)")
+		aggregate  = fs.Bool("aggregate", false, "canonical subscription aggregation: intern equal structures, index only covering-poset roots")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -92,6 +93,9 @@ func run(args []string, stderr io.Writer, ready chan<- net.Addr) int {
 		genas.WithAttrOrdering(*attrs),
 		genas.WithSearch(*search),
 		genas.WithShards(*shards),
+	}
+	if *aggregate {
+		opts = append(opts, genas.WithAggregation())
 	}
 	if *adaptiveOn {
 		opts = append(opts, genas.WithAdaptivePolicy(*window, *threshold, false))

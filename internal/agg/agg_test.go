@@ -1,0 +1,319 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"genas/internal/predicate"
+	"genas/internal/schema"
+	"genas/internal/tree"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	a, err := schema.NewIntegerDomain(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := schema.NewIntegerDomain(0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema.MustNew(
+		schema.Attribute{Name: "x", Domain: a},
+		schema.Attribute{Name: "y", Domain: b},
+	)
+}
+
+func parse(t *testing.T, s *schema.Schema, id, expr string) *predicate.Profile {
+	t.Helper()
+	p, err := predicate.Parse(s, predicate.ID(id), expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return p
+}
+
+func mustAdd(t *testing.T, po *Poset, p *predicate.Profile) AddResult {
+	t.Helper()
+	if po.Has(p.ID) {
+		t.Fatalf("duplicate add %s", p.ID)
+	}
+	return po.Add(p)
+}
+
+// expandAll builds a canonical tree over the poset's roots and runs the
+// full match+expand pipeline for one event — the same dance the engine
+// performs — returning the sorted concrete ids.
+func expandAll(t *testing.T, s *schema.Schema, po *Poset, vals []float64) []string {
+	t.Helper()
+	roots := po.RootList()
+	if len(roots) == 0 {
+		return nil
+	}
+	corpus := make([]*predicate.Profile, len(roots))
+	t2n := make([]int32, len(roots))
+	for i, r := range roots {
+		corpus[i] = r.Rep
+		t2n[i] = r.Idx
+	}
+	tr, err := tree.Build(s, corpus)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	matched, _ := tr.Match(vals)
+	snap := po.Freeze()
+	ids, _ := snap.Expand(vals, matched, t2n, tr, nil)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// direct evaluates every registered member profile directly.
+func direct(po *Poset, vals []float64) []string {
+	var out []string
+	for _, p := range po.Profiles() {
+		if p.Matches(vals) {
+			out = append(out, string(p.ID))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestInterningSharesOneNode(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	// Three spellings of the same constraint: x ∈ [0,50] over domain [0,99].
+	mustAdd(t, po, parse(t, s, "a", "profile(x in [0,50])"))
+	r2 := mustAdd(t, po, parse(t, s, "b", "profile(x <= 50)"))
+	r3 := mustAdd(t, po, parse(t, s, "c", "profile(x <= 50; y >= 0)"))
+	if r2.New {
+		t.Fatalf("x<=50 should intern onto the x in [0,50] node")
+	}
+	// y >= 0 constrains y nominally (whole domain), so c is a distinct,
+	// covered structure — exactly the oracle's verdict.
+	if !r3.New {
+		t.Fatalf("nominally stricter profile must get its own node")
+	}
+	if got := po.NodeCount(); got != 2 {
+		t.Fatalf("NodeCount = %d, want 2", got)
+	}
+	if got := po.SubCount(); got != 3 {
+		t.Fatalf("SubCount = %d, want 3", got)
+	}
+	if got := len(po.RootList()); got != 1 {
+		t.Fatalf("roots = %d, want 1 (c hangs beneath a/b's node)", got)
+	}
+	if rel := po.RelationOf("a", "b"); rel != Equal {
+		t.Fatalf("RelationOf(a,b) = %v, want equal", rel)
+	}
+	if rel := po.RelationOf("a", "c"); rel != Covers {
+		t.Fatalf("RelationOf(a,c) = %v, want covers", rel)
+	}
+	if rel := po.RelationOf("c", "a"); rel != CoveredBy {
+		t.Fatalf("RelationOf(c,a) = %v, want covered-by", rel)
+	}
+}
+
+func TestDemotionOnWiderAdd(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	narrow := mustAdd(t, po, parse(t, s, "n", "profile(x in [10,20])"))
+	if narrow.NewRoot == nil {
+		t.Fatalf("first structure must enter as a root")
+	}
+	wide := mustAdd(t, po, parse(t, s, "w", "profile(x in [0,50])"))
+	if wide.NewRoot == nil {
+		t.Fatalf("wider structure must enter as a root")
+	}
+	if len(wide.Demoted) != 1 || wide.Demoted[0] != narrow.NodeIdx {
+		t.Fatalf("Demoted = %v, want [%d]", wide.Demoted, narrow.NodeIdx)
+	}
+	if got := len(po.RootList()); got != 1 {
+		t.Fatalf("roots = %d, want 1", got)
+	}
+	// Expansion through the single root still reaches both members.
+	if got, want := expandAll(t, s, po, []float64{15, 0}), "n,w"; strings.Join(got, ",") != want {
+		t.Fatalf("expand(15) = %v, want %s", got, want)
+	}
+	if got, want := expandAll(t, s, po, []float64{40, 0}), "w"; strings.Join(got, ",") != want {
+		t.Fatalf("expand(40) = %v, want %s", got, want)
+	}
+}
+
+func TestRemoveInternalCovererRelinksAndPromotes(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	// Chain: a ⊇ b ⊇ c, plus d incomparable under a.
+	mustAdd(t, po, parse(t, s, "a", "profile(x in [0,80])"))
+	mustAdd(t, po, parse(t, s, "b", "profile(x in [10,60])"))
+	mustAdd(t, po, parse(t, s, "c", "profile(x in [20,40])"))
+	mustAdd(t, po, parse(t, s, "d", "profile(x in [70,80])"))
+	if got := len(po.RootList()); got != 1 {
+		t.Fatalf("roots = %d, want 1", got)
+	}
+	// Remove the internal coverer b: c must re-link beneath a, no promotion.
+	res, ok := po.Remove("b")
+	if !ok || !res.Emptied || res.WasRoot || len(res.Promoted) != 0 {
+		t.Fatalf("Remove(b) = %+v ok=%v, want emptied non-root, no promotions", res, ok)
+	}
+	if rel := po.RelationOf("a", "c"); rel != Covers {
+		t.Fatalf("after removing b, RelationOf(a,c) = %v, want covers", rel)
+	}
+	if got, want := expandAll(t, s, po, []float64{30, 0}), "a,c"; strings.Join(got, ",") != want {
+		t.Fatalf("expand(30) = %v, want %s", got, want)
+	}
+	// Remove the root a: both c and d lose their last parent and re-arm.
+	res, ok = po.Remove("a")
+	if !ok || !res.Emptied || !res.WasRoot {
+		t.Fatalf("Remove(a) = %+v ok=%v, want emptied root", res, ok)
+	}
+	if len(res.Promoted) != 2 {
+		t.Fatalf("Promoted = %v, want both c and d", res.Promoted)
+	}
+	if got := len(po.RootList()); got != 2 {
+		t.Fatalf("roots = %d, want 2", got)
+	}
+	if got, want := expandAll(t, s, po, []float64{30, 0}), "c"; strings.Join(got, ",") != want {
+		t.Fatalf("expand(30) = %v, want %s", got, want)
+	}
+	if got, want := expandAll(t, s, po, []float64{75, 0}), "d"; strings.Join(got, ",") != want {
+		t.Fatalf("expand(75) = %v, want %s", got, want)
+	}
+}
+
+func TestRemoveMemberKeepsNode(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	mustAdd(t, po, parse(t, s, "a", "profile(x = 5)"))
+	mustAdd(t, po, parse(t, s, "b", "profile(x = 5)"))
+	res, ok := po.Remove("a")
+	if !ok || res.Emptied {
+		t.Fatalf("Remove(a) = %+v ok=%v, want member drop without detach", res, ok)
+	}
+	if got := po.NodeCount(); got != 1 {
+		t.Fatalf("NodeCount = %d, want 1", got)
+	}
+	if got, want := expandAll(t, s, po, []float64{5, 0}), "b"; strings.Join(got, ",") != want {
+		t.Fatalf("expand(5) = %v, want %s", got, want)
+	}
+	if _, ok := po.Remove("a"); ok {
+		t.Fatalf("second Remove(a) must report unknown")
+	}
+}
+
+func TestSnapshotSurvivesLaterChurn(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	mustAdd(t, po, parse(t, s, "a", "profile(x in [0,50])"))
+	mustAdd(t, po, parse(t, s, "b", "profile(x in [10,20])"))
+	roots := po.RootList()
+	corpus := []*predicate.Profile{roots[0].Rep}
+	t2n := []int32{roots[0].Idx}
+	tr, err := tree.Build(s, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := po.Freeze()
+	// Churn after the freeze: a third member on a's node, then b removed
+	// entirely, then the whole poset compacted.
+	mustAdd(t, po, parse(t, s, "c", "profile(x <= 50)"))
+	po.Remove("b")
+	po.Compact()
+	// The frozen snapshot must still expand exactly its freeze-time state.
+	matched, _ := tr.Match([]float64{15, 0})
+	ids, _ := snap.Expand([]float64{15, 0}, matched, t2n, tr, nil)
+	got := make([]string, len(ids))
+	for i, id := range ids {
+		got[i] = string(id)
+	}
+	sort.Strings(got)
+	if strings.Join(got, ",") != "a,b" {
+		t.Fatalf("frozen expand = %v, want a,b", got)
+	}
+}
+
+func TestCompactPreservesSemantics(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	exprs := []string{
+		"profile(x in [0,90])",
+		"profile(x in [5,60]; y in [0,80])",
+		"profile(x in [10,40]; y in [10,50])",
+		"profile(x = 20; y = 20)",
+		"profile(y in [0,99])",
+		"profile(x in [50,90])",
+	}
+	for i, e := range exprs {
+		mustAdd(t, po, parse(t, s, fmt.Sprintf("p%d", i), e))
+	}
+	// Punch holes, then compact.
+	po.Remove("p1")
+	po.Remove("p5")
+	probes := [][]float64{{20, 20}, {0, 0}, {30, 30}, {55, 90}, {90, 99}}
+	var before []string
+	for _, pr := range probes {
+		before = append(before, strings.Join(expandAll(t, s, po, pr), ","))
+	}
+	po.Compact()
+	if got := len(po.nodes); got != po.NodeCount() {
+		t.Fatalf("Compact left holes: len(nodes)=%d live=%d", got, po.NodeCount())
+	}
+	for i, pr := range probes {
+		after := strings.Join(expandAll(t, s, po, pr), ",")
+		if after != before[i] {
+			t.Fatalf("probe %v: compacted expand %q != pre-compact %q", pr, after, before[i])
+		}
+		if want := strings.Join(direct(po, pr), ","); after != want {
+			t.Fatalf("probe %v: expand %q != direct evaluation %q", pr, after, want)
+		}
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	mustAdd(t, po, parse(t, s, "a", "profile(x in [0,80])"))
+	mustAdd(t, po, parse(t, s, "b", "profile(x in [10,60])"))
+	mustAdd(t, po, parse(t, s, "c", "profile(x in [20,40])"))
+	mustAdd(t, po, parse(t, s, "d", "profile(y in [0,50])"))
+	st := po.Stats()
+	if st.Subscriptions != 4 || st.Nodes != 4 {
+		t.Fatalf("Stats = %+v, want 4 subs / 4 nodes", st)
+	}
+	if st.Roots != 2 {
+		t.Fatalf("Roots = %d, want 2 (the chain head and the y-range)", st.Roots)
+	}
+	if st.MaxDepth != 3 {
+		t.Fatalf("MaxDepth = %d, want 3 (a ⊐ b ⊐ c)", st.MaxDepth)
+	}
+}
+
+// TestDiamondExpansionDedup pins the DAG case: one node reachable from two
+// matched roots must be emitted once.
+func TestDiamondExpansionDedup(t *testing.T) {
+	s := testSchema(t)
+	po := NewPoset(s)
+	mustAdd(t, po, parse(t, s, "left", "profile(x in [0,50])"))
+	mustAdd(t, po, parse(t, s, "right", "profile(y in [0,50])"))
+	mustAdd(t, po, parse(t, s, "both", "profile(x in [10,20]; y in [10,20])"))
+	if got := len(po.RootList()); got != 2 {
+		t.Fatalf("roots = %d, want 2", got)
+	}
+	if rel := po.RelationOf("left", "both"); rel != Covers {
+		t.Fatalf("RelationOf(left,both) = %v, want covers", rel)
+	}
+	if rel := po.RelationOf("right", "both"); rel != Covers {
+		t.Fatalf("RelationOf(right,both) = %v, want covers", rel)
+	}
+	got := expandAll(t, s, po, []float64{15, 15})
+	if strings.Join(got, ",") != "both,left,right" {
+		t.Fatalf("expand = %v, want both,left,right exactly once each", got)
+	}
+}

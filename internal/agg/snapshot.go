@@ -1,0 +1,134 @@
+package agg
+
+import (
+	"sync"
+
+	"genas/internal/predicate"
+	"genas/internal/tree"
+)
+
+// Snapshot is the frozen, publishable image of the poset: index-aligned
+// node records the match path walks lock-free. It is published through the
+// engine's atomic snapshot pointer next to the tree it expands.
+//
+//genas:frozen
+type Snapshot struct {
+	// Nodes is indexed by poset node index; detached nodes leave zero
+	// entries (nil Prof), which the expansion never reaches.
+	Nodes []SnapNode
+	// Subs is the concrete subscription count at freeze time.
+	Subs int
+}
+
+// SnapNode mirrors one canonical node for expansion.
+//
+//genas:frozen
+type SnapNode struct {
+	// Prof is the node's representative profile, evaluated when the
+	// expansion considers descending into this node.
+	Prof *predicate.Profile
+	// Subs aliases the write side's append-only member array: appends land
+	// past this snapshot's length and removals copy, so the header is
+	// stable.
+	Subs []SubRef
+	// Kids holds the node indices hanging beneath this node (fresh copy —
+	// the write side re-links kid lists in place).
+	Kids []int32
+}
+
+// Freeze builds the frozen snapshot image of the current poset state.
+//
+//genas:builder
+func (po *Poset) Freeze() *Snapshot {
+	s := &Snapshot{Nodes: make([]SnapNode, len(po.nodes)), Subs: po.subCnt}
+	for i, n := range po.nodes {
+		if n == nil {
+			continue
+		}
+		kids := make([]int32, len(n.kids))
+		for j, k := range n.kids {
+			kids[j] = k.idx
+		}
+		s.Nodes[i] = SnapNode{Prof: n.rep, Subs: n.subs, Kids: kids}
+	}
+	return s
+}
+
+// expandScratch is the pooled DFS state for Expand: an explicit stack plus
+// generation-stamped visit marks, so per-event expansion allocates nothing
+// once the pool is warm.
+type expandScratch struct {
+	stack []int32
+	mark  []uint32
+	gen   uint32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(expandScratch) }}
+
+// reset prepares the scratch for a snapshot of n nodes: grows the mark
+// array when needed and advances the generation, clearing marks only on
+// wraparound. Kept out of the hot function so its allocations stay off the
+// steady-state path.
+func (sc *expandScratch) reset(n int) {
+	if len(sc.mark) < n {
+		sc.mark = make([]uint32, n)
+		sc.gen = 0
+	}
+	sc.gen++
+	if sc.gen == 0 {
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.gen = 1
+	}
+	sc.stack = sc.stack[:0]
+}
+
+// Expand translates the tree's matched slots into concrete subscription
+// ids, appending to dst. matched holds dense indices into t (the canonical
+// tree this snapshot was published with); t2n maps each tree slot to its
+// poset node. From every live matched root the walk descends kid edges,
+// re-evaluating each child's representative against the event — covering
+// guarantees a child that fails can have no matching descendant — and marks
+// visited nodes so DAG diamonds and multi-root overlaps emit each
+// subscription once. The second result counts the predicate evaluations
+// spent descending, which the engine folds into its operation accounting.
+//
+//genas:hotpath
+func (s *Snapshot) Expand(vals []float64, matched []int, t2n []int32, t *tree.Tree, dst []predicate.ID) ([]predicate.ID, int) {
+	sc := scratchPool.Get().(*expandScratch)
+	sc.reset(len(s.Nodes))
+	ops := 0
+	dead := t.HasDead()
+	for _, pi := range matched {
+		if dead && t.Dead(pi) {
+			continue
+		}
+		ni := t2n[pi]
+		if sc.mark[ni] == sc.gen {
+			continue
+		}
+		sc.mark[ni] = sc.gen
+		sc.stack = append(sc.stack, ni)
+	}
+	for len(sc.stack) > 0 {
+		ni := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		n := &s.Nodes[ni]
+		for i := range n.Subs {
+			dst = append(dst, n.Subs[i].ID)
+		}
+		for _, ki := range n.Kids {
+			if sc.mark[ki] == sc.gen {
+				continue
+			}
+			sc.mark[ki] = sc.gen
+			ops++
+			if s.Nodes[ki].Prof.Matches(vals) {
+				sc.stack = append(sc.stack, ki)
+			}
+		}
+	}
+	scratchPool.Put(sc)
+	return dst, ops
+}

@@ -841,6 +841,9 @@ type Stats struct {
 	FilterEvents uint64
 	FilterOps    uint64
 	MeanOps      float64
+	// Aggregation describes the engine's canonical subscription layer
+	// (Enabled false, zero counters, on an unaggregated engine).
+	Aggregation core.AggStats
 }
 
 // Stats returns the current counters.
@@ -863,6 +866,7 @@ func (b *Broker) Stats() Stats {
 		FilterEvents:  acc.Events,
 		FilterOps:     acc.Ops,
 		MeanOps:       acc.MeanOps,
+		Aggregation:   b.filter.AggStats(),
 	}
 }
 

@@ -33,24 +33,27 @@ func (e *Engine) MatchBatch(events [][]float64, workers int) ([]BatchResult, err
 		return nil, nil
 	}
 	snap := e.snap.Load()
-	t := snap.tree
-	if snap.empty {
-		t = nil
-	} else if t == nil {
+	if !snap.empty && snap.tree == nil {
 		var err error
-		t, err = e.lazyTree()
+		snap, err = e.lazySnapshot()
 		if err != nil {
 			return nil, err
 		}
 	}
-	if t == nil {
+	if snap.empty || snap.tree == nil {
 		return make([]BatchResult, len(events)), nil
 	}
+	t := snap.tree
 
 	results := make([]BatchResult, len(events))
 	profiles := t.Profiles()
 	runBatch(len(events), workers, func(i int) {
 		matched, ops := t.Match(events[i])
+		if snap.expand != nil {
+			ids, expOps := snap.expand.Expand(events[i], matched, snap.t2n, t, nil)
+			results[i] = BatchResult{IDs: ids, Ops: ops + expOps}
+			return
+		}
 		ids := make([]predicate.ID, 0, len(matched))
 		for _, pi := range matched {
 			if t.Dead(pi) {

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"genas/internal/agg"
 	"genas/internal/dist"
 	"genas/internal/predicate"
 	"genas/internal/schema"
@@ -115,6 +116,14 @@ type Config struct {
 	// ProfileDists is P_p per schema attribute. Nil means the empirical
 	// profile distribution derived from the corpus itself.
 	ProfileDists []dist.Dist
+	// Aggregate enables canonical subscription aggregation (internal/agg):
+	// structurally identical profiles intern onto one canonical node,
+	// covered structures hang beneath their coverer in a poset, and the
+	// automaton indexes only the poset roots — concrete ids are expanded
+	// through the poset per match. Match cost then grows with distinct
+	// predicate structure, not subscriber count. Construction-time only:
+	// SetConfig cannot toggle it.
+	Aggregate bool
 }
 
 // Errors returned by the engine.
@@ -137,6 +146,13 @@ var (
 type snapshot struct {
 	tree  *tree.Tree
 	empty bool
+	// expand and t2n exist only under aggregation: expand is the frozen
+	// poset image matched ids are expanded through, and t2n maps each tree
+	// slot (dense index) to its poset node. t2n is append-only across
+	// successor snapshots — writes land past every predecessor's length —
+	// so snapshots share its backing array like the tree shares nodes.
+	expand *agg.Snapshot
+	t2n    []int32
 }
 
 // Engine is the distribution-based filter component. It is safe for
@@ -165,6 +181,14 @@ type Engine struct {
 	// incremental inserts (recomputing empirical measures per insert would
 	// rescan the corpus; drift between rebuilds is bounded by coalescing).
 	vo tree.ValueOrder
+
+	// Aggregation state (cfg.Aggregate): the covering poset replaces
+	// byID/dense entirely — per-subscription state collapses to one SubRef
+	// inside the poset. t2n is the write side of snapshot.t2n; nodeTree
+	// maps a poset node index back to its tree slot for demotions.
+	agg      *agg.Poset
+	t2n      []int32
+	nodeTree map[int32]int
 }
 
 // coalesceThreshold returns the edit budget before the next churn operation
@@ -175,8 +199,14 @@ func (e *Engine) coalesceThreshold() int {
 	// trees fragment slowly (each insert adds at most a few cuts per level)
 	// and tombstones only cost a bitmap test at translation, so rebuilding
 	// once per corpus-sized batch of edits trades a small match-path drift
-	// for keeping the rebuild entirely off the steady churn path.
-	if n := 2 * len(e.dense); n > 128 {
+	// for keeping the rebuild entirely off the steady churn path. Under
+	// aggregation the automaton's size driver is the canonical node count,
+	// not the subscriber count, so the budget scales with that instead.
+	size := len(e.dense)
+	if e.agg != nil {
+		size = e.agg.NodeCount()
+	}
+	if n := 2 * size; n > 128 {
 		return n
 	}
 	return 128
@@ -196,7 +226,11 @@ func NewEngine(s *schema.Schema, cfg Config) *Engine {
 	e := &Engine{
 		schema: s,
 		cfg:    cfg,
-		byID:   make(map[predicate.ID]int),
+	}
+	if cfg.Aggregate {
+		e.agg = agg.NewPoset(s)
+	} else {
+		e.byID = make(map[predicate.ID]int)
 	}
 	e.snap.Store(&snapshot{empty: true})
 	return e
@@ -211,6 +245,9 @@ func (e *Engine) Schema() *schema.Schema { return e.schema }
 func (e *Engine) AddProfile(p *predicate.Profile) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.agg != nil {
+		return e.addAggLocked(p)
+	}
 	if _, dup := e.byID[p.ID]; dup {
 		return fmt.Errorf("%w: %s", ErrDuplicateProfile, p.ID)
 	}
@@ -235,12 +272,63 @@ func (e *Engine) AddProfile(p *predicate.Profile) error {
 	return nil
 }
 
+// addAggLocked is AddProfile's aggregation path: the subscription joins its
+// canonical node in the poset; the automaton changes only when a new
+// structure enters as a root (indexed) or demotes existing roots beneath it
+// (tombstoned — they stay reachable through the new root's expansion edges).
+// Every churn op republishes the frozen expansion image, so in-flight
+// matches keep expanding against the state they matched under.
+func (e *Engine) addAggLocked(p *predicate.Profile) error {
+	if e.agg.Has(p.ID) {
+		return fmt.Errorf("%w: %s", ErrDuplicateProfile, p.ID)
+	}
+	res := e.agg.Add(p)
+	snap := e.snap.Load()
+	switch {
+	case snap.empty:
+		e.snap.Store(&snapshot{})
+	case snap.tree == nil:
+		// Already stale; the pending lazy build picks the node up.
+	default:
+		e.edits++
+		if e.edits >= e.coalesceThreshold() {
+			e.coalesceLocked()
+			return nil
+		}
+		t := snap.tree
+		for _, d := range res.Demoted {
+			ti, ok := e.nodeTree[d]
+			if !ok {
+				e.snap.Store(&snapshot{}) // defensive: force a lazy rebuild
+				return nil
+			}
+			delete(e.nodeTree, d)
+			t = t.WithoutProfile(ti)
+		}
+		if res.NewRoot != nil {
+			var ti int
+			t, ti = t.WithProfile(res.NewRoot, e.vo)
+			if ti != len(e.t2n) {
+				e.snap.Store(&snapshot{}) // defensive: slot table out of step
+				return nil
+			}
+			e.t2n = append(e.t2n, res.NodeIdx)
+			e.nodeTree[res.NodeIdx] = ti
+		}
+		e.snap.Store(&snapshot{tree: t, expand: e.agg.Freeze(), t2n: e.t2n})
+	}
+	return nil
+}
+
 // RemoveProfile unregisters a profile by id. When an automaton is live the
 // profile is tombstoned in a successor snapshot (O(1)); tombstones are
 // compacted by the next coalescing rebuild.
 func (e *Engine) RemoveProfile(id predicate.ID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.agg != nil {
+		return e.removeAggLocked(id)
+	}
 	i, ok := e.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownProfile, id)
@@ -276,6 +364,54 @@ func (e *Engine) RemoveProfile(id predicate.ID) error {
 	return nil
 }
 
+// removeAggLocked is RemoveProfile's aggregation path. Dropping a member
+// usually leaves the automaton untouched (only the expansion image
+// refreshes); when a canonical node loses its last member it detaches
+// eagerly — its tree slot is tombstoned if it was a root, and formerly
+// covered nodes promoted by the detach are indexed, so a covered
+// subscription resurfaces the moment its last coverer leaves.
+func (e *Engine) removeAggLocked(id predicate.ID) error {
+	res, ok := e.agg.Remove(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownProfile, id)
+	}
+	snap := e.snap.Load()
+	switch {
+	case e.agg.SubCount() == 0:
+		e.storeEmptyLocked()
+	case snap.empty || snap.tree == nil:
+		// Nothing published or already stale; the next build reads the poset.
+	default:
+		e.edits++
+		if e.edits >= e.coalesceThreshold() {
+			e.coalesceLocked()
+			return nil
+		}
+		t := snap.tree
+		if res.Emptied && res.WasRoot {
+			ti, ok := e.nodeTree[res.NodeIdx]
+			if !ok {
+				e.snap.Store(&snapshot{}) // defensive: force a lazy rebuild
+				return nil
+			}
+			delete(e.nodeTree, res.NodeIdx)
+			t = t.WithoutProfile(ti)
+		}
+		for _, pr := range res.Promoted {
+			var ti int
+			t, ti = t.WithProfile(pr.Rep, e.vo)
+			if ti != len(e.t2n) {
+				e.snap.Store(&snapshot{}) // defensive: slot table out of step
+				return nil
+			}
+			e.t2n = append(e.t2n, pr.Idx)
+			e.nodeTree[pr.Idx] = ti
+		}
+		e.snap.Store(&snapshot{tree: t, expand: e.agg.Freeze(), t2n: e.t2n})
+	}
+	return nil
+}
+
 // coalesceLocked replaces the incrementally grown automaton with a freshly
 // built one (canonical structure, ordering recomputed, tombstones cleared).
 // Build errors (e.g. an A3 ordering failure) must not fail the churn
@@ -291,19 +427,37 @@ func (e *Engine) storeEmptyLocked() {
 	e.snap.Store(&snapshot{empty: true})
 	e.treeIdx = nil
 	e.edits = 0
+	e.t2n = nil
+	e.nodeTree = nil
+	if e.agg != nil && e.agg.SubCount() == 0 {
+		// Going empty is the natural point to drop the holes and edge
+		// fragments churn left behind.
+		e.agg = agg.NewPoset(e.schema)
+	}
 }
 
-// ProfileCount returns the number of registered profiles.
+// ProfileCount returns the number of registered profiles (concrete
+// subscriptions, not canonical nodes, under aggregation).
 func (e *Engine) ProfileCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.agg != nil {
+		return e.agg.SubCount()
+	}
 	return len(e.dense)
 }
 
-// Profiles returns a copy of the registered profiles.
+// Profiles returns a copy of the registered profiles. Under aggregation the
+// originals are not retained — that is the memory win — so each entry is
+// synthesized from its canonical node: the id and priority are the
+// subscriber's, the predicate column is the node's representative (an
+// equivalent constraint, possibly spelled differently than the original).
 func (e *Engine) Profiles() []*predicate.Profile {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.agg != nil {
+		return e.agg.Profiles()
+	}
 	out := make([]*predicate.Profile, len(e.dense))
 	copy(out, e.dense)
 	return out
@@ -321,8 +475,23 @@ func (e *Engine) eventDists() []dist.Dist {
 	return ds
 }
 
-// valueOrder materializes the configured value measure.
-func (e *Engine) valueOrder() tree.ValueOrder {
+// corpusLocked returns the profile set the automaton indexes and the
+// selectivity measures rank over: the dense corpus, or the poset's
+// canonical roots under aggregation. Callers hold e.mu.
+func (e *Engine) corpusLocked() []*predicate.Profile {
+	if e.agg == nil {
+		return e.dense
+	}
+	roots := e.agg.RootList()
+	out := make([]*predicate.Profile, len(roots))
+	for i, r := range roots {
+		out[i] = r.Rep
+	}
+	return out
+}
+
+// valueOrder materializes the configured value measure over corpus.
+func (e *Engine) valueOrder(corpus []*predicate.Profile) tree.ValueOrder {
 	ed := e.eventDists()
 	pd := e.cfg.ProfileDists
 	switch e.cfg.ValueMeasure {
@@ -334,18 +503,18 @@ func (e *Engine) valueOrder() tree.ValueOrder {
 		return selectivity.V1(ed, false)
 	case ValueProfile:
 		if pd == nil {
-			return selectivity.V2Empirical(e.schema, e.dense, true)
+			return selectivity.V2Empirical(e.schema, corpus, true)
 		}
 		return selectivity.V2(pd, true)
 	case ValueProfileAsc:
 		if pd == nil {
-			return selectivity.V2Empirical(e.schema, e.dense, false)
+			return selectivity.V2Empirical(e.schema, corpus, false)
 		}
 		return selectivity.V2(pd, false)
 	case ValueCombined, ValueCombinedAsc:
 		desc := e.cfg.ValueMeasure == ValueCombined
 		if pd == nil {
-			emp := selectivity.V2Empirical(e.schema, e.dense, desc)
+			emp := selectivity.V2Empirical(e.schema, corpus, desc)
 			v1 := selectivity.V1(ed, desc)
 			return tree.ValueOrder{
 				Name:       "event*profile-emp",
@@ -361,18 +530,18 @@ func (e *Engine) valueOrder() tree.ValueOrder {
 	}
 }
 
-// attrOrder computes the configured attribute order.
-func (e *Engine) attrOrder() ([]int, error) {
+// attrOrder computes the configured attribute order over corpus.
+func (e *Engine) attrOrder(corpus []*predicate.Profile) ([]int, error) {
 	switch e.cfg.AttrOrdering {
 	case AttrA1, AttrA1Asc:
-		st := selectivity.AttributeStats(e.schema, e.dense, nil)
+		st := selectivity.AttributeStats(e.schema, corpus, nil)
 		return selectivity.OrderAttributes(st, selectivity.MeasureA1, e.cfg.AttrOrdering == AttrA1), nil
 	case AttrA2, AttrA2Asc:
-		st := selectivity.AttributeStats(e.schema, e.dense, e.eventDists())
+		st := selectivity.AttributeStats(e.schema, corpus, e.eventDists())
 		return selectivity.OrderAttributes(st, selectivity.MeasureA2, e.cfg.AttrOrdering == AttrA2), nil
 	case AttrA3:
 		order, _, err := selectivity.OrderAttributesA3(
-			e.schema, e.dense, e.eventDists(), e.valueOrder(), e.cfg.Search)
+			e.schema, corpus, e.eventDists(), e.valueOrder(corpus), e.cfg.Search)
 		return order, err
 	default:
 		order := make([]int, e.schema.N())
@@ -394,11 +563,14 @@ func (e *Engine) Rebuild() error {
 // rebuildLocked builds a fresh automaton from the current corpus and
 // publishes it. Callers hold e.mu.
 func (e *Engine) rebuildLocked() error {
+	if e.agg != nil {
+		return e.rebuildAggLocked()
+	}
 	if len(e.dense) == 0 {
 		e.storeEmptyLocked()
 		return ErrNoProfiles
 	}
-	order, err := e.attrOrder()
+	order, err := e.attrOrder(e.dense)
 	if err != nil {
 		return err
 	}
@@ -412,7 +584,7 @@ func (e *Engine) rebuildLocked() error {
 	if err != nil {
 		return err
 	}
-	vo := e.valueOrder()
+	vo := e.valueOrder(corpus)
 	// The tree is not published yet, so the in-place ordering pass is safe.
 	t.ApplyValueOrder(vo)
 	e.vo = vo
@@ -422,6 +594,44 @@ func (e *Engine) rebuildLocked() error {
 	}
 	e.edits = 0
 	e.snap.Store(&snapshot{tree: t})
+	return nil
+}
+
+// rebuildAggLocked is rebuildLocked under aggregation: the poset compacts
+// (clearing churn holes and redundant edges), the automaton is rebuilt over
+// the canonical roots only, and the slot↔node tables are derived fresh.
+func (e *Engine) rebuildAggLocked() error {
+	if e.agg.SubCount() == 0 {
+		e.storeEmptyLocked()
+		return ErrNoProfiles
+	}
+	e.agg.Compact()
+	roots := e.agg.RootList()
+	corpus := make([]*predicate.Profile, len(roots))
+	t2n := make([]int32, len(roots))
+	nodeTree := make(map[int32]int, len(roots))
+	for i, r := range roots {
+		corpus[i] = r.Rep
+		t2n[i] = r.Idx
+		nodeTree[r.Idx] = i
+	}
+	order, err := e.attrOrder(corpus)
+	if err != nil {
+		return err
+	}
+	t, err := tree.Build(e.schema, corpus,
+		tree.WithAttributeOrder(order), tree.WithSearch(e.cfg.Search))
+	if err != nil {
+		return err
+	}
+	vo := e.valueOrder(corpus)
+	// The tree is not published yet, so the in-place ordering pass is safe.
+	t.ApplyValueOrder(vo)
+	e.vo = vo
+	e.t2n = t2n
+	e.nodeTree = nodeTree
+	e.edits = 0
+	e.snap.Store(&snapshot{tree: t, expand: e.agg.Freeze(), t2n: t2n})
 	return nil
 }
 
@@ -436,9 +646,9 @@ func (e *Engine) Reorder() error {
 	if snap.empty || snap.tree == nil {
 		return e.rebuildLocked()
 	}
-	vo := e.valueOrder()
+	vo := e.valueOrder(e.corpusLocked())
 	e.vo = vo
-	e.snap.Store(&snapshot{tree: snap.tree.Reordered(vo)})
+	e.snap.Store(&snapshot{tree: snap.tree.Reordered(vo), expand: snap.expand, t2n: snap.t2n})
 	return nil
 }
 
@@ -471,29 +681,32 @@ func (e *Engine) SetConfig(cfg Config) {
 	if cfg.Search == 0 {
 		cfg.Search = e.cfg.Search
 	}
+	// Aggregation is a construction-time layout decision (the poset either
+	// holds the corpus or the dense slice does); a zero-value cfg must not
+	// silently discard it.
+	cfg.Aggregate = e.cfg.Aggregate
 	e.cfg = cfg
 	if snap := e.snap.Load(); !snap.empty {
 		e.snap.Store(&snapshot{})
 	}
 }
 
-// lazyTree resolves a stale snapshot: it (re)builds the automaton under the
-// writer mutex, unless a concurrent writer already did. A nil tree with nil
-// error means the engine went empty in the meantime.
-func (e *Engine) lazyTree() (*tree.Tree, error) {
+// lazySnapshot resolves a stale snapshot: it (re)builds the automaton under
+// the writer mutex, unless a concurrent writer already did, and returns the
+// resulting built or empty snapshot (never a stale one). Matching needs the
+// whole snapshot, not just the tree: under aggregation the expansion image
+// and slot table published alongside it must come from the same build.
+func (e *Engine) lazySnapshot() (*snapshot, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	snap := e.snap.Load()
-	if snap.empty {
-		return nil, nil
-	}
-	if snap.tree != nil {
-		return snap.tree, nil
+	if snap.empty || snap.tree != nil {
+		return snap, nil
 	}
 	if err := e.rebuildLocked(); err != nil {
 		return nil, err
 	}
-	return e.snap.Load().tree, nil
+	return e.snap.Load(), nil
 }
 
 // Match filters one event, returning matched profile IDs and the operations
@@ -523,20 +736,28 @@ func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.I
 	if snap.empty {
 		return dst, 0, true, nil
 	}
-	t := snap.tree
-	if t == nil {
-		t, err = e.lazyTree()
+	if snap.tree == nil {
+		snap, err = e.lazySnapshot()
 		if err != nil {
 			return dst, 0, false, err
 		}
-		if t == nil {
+		if snap.empty {
 			return dst, 0, true, nil
 		}
 	}
+	t := snap.tree
 	matched, matchOps := t.Match(vals)
 	ids = dst
 	if ids == nil {
 		ids = make([]predicate.ID, 0, len(matched))
+	}
+	if snap.expand != nil {
+		// Aggregated: the tree matched canonical roots; expand them through
+		// the poset image into concrete subscription ids, charging the
+		// descent evaluations to the event like tree comparisons.
+		var expOps int
+		ids, expOps = snap.expand.Expand(vals, matched, snap.t2n, t, ids)
+		return ids, matchOps + expOps, false, nil
 	}
 	profiles := t.Profiles()
 	if t.HasDead() {
@@ -558,7 +779,8 @@ func (e *Engine) matchIDs(vals []float64, dst []predicate.ID) (ids []predicate.I
 // path; avoids the ID materialization). The indices are only meaningful
 // against the Profiles() of the snapshot that produced them — under churn,
 // Tree() may already point at a successor — so callers needing identity
-// should use Match.
+// should use Match. Under aggregation the indices denote canonical nodes,
+// not subscriptions; use Match for concrete ids.
 //
 //genas:hotpath
 func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
@@ -566,17 +788,17 @@ func (e *Engine) MatchDense(vals []float64) ([]int, int, error) {
 	if snap.empty {
 		return nil, 0, nil // an empty filter matches nothing
 	}
-	t := snap.tree
-	if t == nil {
+	if snap.tree == nil {
 		var err error
-		t, err = e.lazyTree()
+		snap, err = e.lazySnapshot()
 		if err != nil {
 			return nil, 0, err
 		}
-		if t == nil {
+		if snap.empty {
 			return nil, 0, nil
 		}
 	}
+	t := snap.tree
 	matched, ops := t.Match(vals)
 	if t.HasDead() {
 		live := make([]int, 0, len(matched))
@@ -603,8 +825,11 @@ func (e *Engine) Tree() *tree.Tree {
 	if snap.tree != nil {
 		return snap.tree
 	}
-	t, _ := e.lazyTree()
-	return t
+	sn, err := e.lazySnapshot()
+	if err != nil || sn == nil {
+		return nil
+	}
+	return sn.tree
 }
 
 // Analyze runs the analytic cost model (Eq. 2) under the engine's event
@@ -628,6 +853,48 @@ func (e *Engine) Analyze() (selectivity.Analysis, error) {
 	ed := e.eventDists()
 	e.mu.Unlock()
 	return selectivity.Analyze(t, ed), nil
+}
+
+// AggStats summarizes the aggregation layer's shape. Enabled is false on an
+// unaggregated filter, where the other fields are zero.
+type AggStats struct {
+	// Enabled reports whether canonical aggregation is active.
+	Enabled bool
+	// Subscriptions is the concrete subscription count.
+	Subscriptions int
+	// Nodes is the canonical node count — the real index size driver.
+	Nodes int
+	// Roots is the number of nodes the automaton actually indexes.
+	Roots int
+	// MaxDepth is the longest covering chain, in nodes (max across shards
+	// for a sharded filter).
+	MaxDepth int
+}
+
+// Ratio returns profiles-per-canonical-node — the aggregation compression
+// factor (0 when empty or disabled).
+func (s AggStats) Ratio() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return float64(s.Subscriptions) / float64(s.Nodes)
+}
+
+// AggStats reports the aggregation layer's shape.
+func (e *Engine) AggStats() AggStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.agg == nil {
+		return AggStats{}
+	}
+	st := e.agg.Stats()
+	return AggStats{
+		Enabled:       true,
+		Subscriptions: st.Subscriptions,
+		Nodes:         st.Nodes,
+		Roots:         st.Roots,
+		MaxDepth:      st.MaxDepth,
+	}
 }
 
 // Account returns the live operation accounting summary.

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"genas/internal/agg"
 	"genas/internal/dist"
 	"genas/internal/predicate"
 	"genas/internal/schema"
@@ -188,25 +189,23 @@ func (sh *Sharded) MatchBatch(events [][]float64, workers int) ([]BatchResult, e
 	type shardSnap struct {
 		t        *tree.Tree
 		profiles []*predicate.Profile
+		expand   *agg.Snapshot
+		t2n      []int32
 	}
 	snaps := make([]shardSnap, 0, len(sh.shards))
 	for _, e := range sh.shards {
 		s := e.snap.Load()
-		t := s.tree
-		if s.empty {
-			continue
-		}
-		if t == nil {
+		if !s.empty && s.tree == nil {
 			var err error
-			t, err = e.lazyTree()
+			s, err = e.lazySnapshot()
 			if err != nil {
 				return nil, err
 			}
-			if t == nil {
-				continue
-			}
 		}
-		snaps = append(snaps, shardSnap{t: t, profiles: t.Profiles()})
+		if s.empty || s.tree == nil {
+			continue
+		}
+		snaps = append(snaps, shardSnap{t: s.tree, profiles: s.tree.Profiles(), expand: s.expand, t2n: s.t2n})
 	}
 	results := make([]BatchResult, len(events))
 	if len(snaps) == 0 {
@@ -218,6 +217,12 @@ func (sh *Sharded) MatchBatch(events [][]float64, workers int) ([]BatchResult, e
 		for _, sn := range snaps {
 			matched, o := sn.t.Match(events[i])
 			ops += o
+			if sn.expand != nil {
+				var expOps int
+				ids, expOps = sn.expand.Expand(events[i], matched, sn.t2n, sn.t, ids)
+				ops += expOps
+				continue
+			}
 			for _, pi := range matched {
 				if sn.t.Dead(pi) {
 					continue
@@ -293,6 +298,26 @@ func (sh *Sharded) SetEventDists(ds []dist.Dist) {
 	for _, e := range sh.shards {
 		e.SetEventDists(ds)
 	}
+}
+
+// AggStats merges the per-shard aggregation summaries: counts add (each
+// shard's poset is independent), the depth is the worst shard's.
+func (sh *Sharded) AggStats() AggStats {
+	var out AggStats
+	for _, e := range sh.shards {
+		st := e.AggStats()
+		if !st.Enabled {
+			continue
+		}
+		out.Enabled = true
+		out.Subscriptions += st.Subscriptions
+		out.Nodes += st.Nodes
+		out.Roots += st.Roots
+		if st.MaxDepth > out.MaxDepth {
+			out.MaxDepth = st.MaxDepth
+		}
+	}
+	return out
 }
 
 // Account returns the merged operation accounting summary: totals are exact

@@ -34,7 +34,6 @@ import (
 	"genas/internal/core"
 	"genas/internal/event"
 	"genas/internal/predicate"
-	"genas/internal/routing"
 	"genas/internal/schema"
 	"genas/internal/wire"
 )
@@ -147,12 +146,18 @@ func New(brk *broker.Broker, opts Options) (*Fed, error) {
 	if logger == nil {
 		logger = log.New(io.Discard, "", 0)
 	}
+	// Link engines inherit the broker's measure configuration. With Covering
+	// they additionally run in aggregated mode: each route add/withdraw is an
+	// incremental covering-poset mutation, and only uncovered (root) routes
+	// are indexed for forwarding — no per-announcement rescans.
+	engineCfg := brk.Engine().Config()
+	engineCfg.Aggregate = opts.Covering
 	return &Fed{
 		name:      opts.Node,
 		sch:       brk.Schema(),
 		brk:       brk,
 		opts:      opts,
-		engineCfg: brk.Engine().Config(),
+		engineCfg: engineCfg,
 		log:       logger,
 		peers:     make(map[*peerLink]struct{}),
 		byName:    make(map[string]*peerLink),
@@ -473,34 +478,20 @@ func (f *Fed) addRoute(l *peerLink, p *predicate.Profile) {
 	}
 }
 
-// installRouteLocked updates the link engine for a new or changed route.
-// The common case — a fresh route not interacting with the covering
-// relation — is an O(routes) incremental add; a full rebuild is reserved
-// for routes that replace an existing id or absorb currently uncovered
-// ones, so replaying n routes costs O(n²) instead of O(n³). Caller holds
-// f.mu.
+// installRouteLocked updates the link engine for a new or changed route —
+// one incremental engine mutation either way. Under covering the engine's
+// aggregation poset places the route against the link's root antichain
+// itself (demoting routes the newcomer absorbs, riding under a broader
+// route when covered), so replaying n routes costs n poset insertions, not
+// the rescans of the rebuild era. Caller holds f.mu.
 func (f *Fed) installRouteLocked(l *peerLink, p *predicate.Profile) {
-	_, replaced := l.routes[p.ID]
+	if _, replaced := l.routes[p.ID]; replaced {
+		// The id's old predicate sits in the engine: replace, never duplicate.
+		if err := l.engine.RemoveProfile(p.ID); err != nil {
+			f.log.Printf("federation: link %s route %s: %v", l.name, p.ID, err)
+		}
+	}
 	l.routes[p.ID] = p
-	if replaced {
-		// The id's old predicate may sit in the engine: start over.
-		f.rebuildLink(l)
-		return
-	}
-	if f.opts.Covering {
-		if routing.CoveredByOther(f.sch, p, l.routes) {
-			return // p rides under an existing broader route
-		}
-		for _, q := range l.engine.Profiles() {
-			// p absorbs q when it strictly covers it, or they are equivalent
-			// and p has the smaller id — the same tiebreak CoveredByOther
-			// applies.
-			if predicate.Covers(f.sch, p, q) && !(predicate.Covers(f.sch, q, p) && q.ID < p.ID) {
-				f.rebuildLink(l)
-				return
-			}
-		}
-	}
 	if err := l.engine.AddProfile(p); err != nil {
 		f.log.Printf("federation: link %s route %s: %v", l.name, p.ID, err)
 	}
@@ -517,28 +508,16 @@ func (f *Fed) removeRoute(l *peerLink, id predicate.ID) {
 		return
 	}
 	delete(l.routes, id)
-	f.rebuildLink(l)
+	// One incremental removal; under covering the poset re-arms routes the
+	// withdrawn one covered (its kids re-link upward or promote to roots).
+	if err := l.engine.RemoveProfile(id); err != nil {
+		f.log.Printf("federation: link %s withdraw %s: %v", l.name, id, err)
+	}
 	for o := range f.peers {
 		if o != l {
 			f.sendRouteWithdraw(o, id)
 		}
 	}
-}
-
-// rebuildLink refreshes the link's filter engine from its route set with
-// covering pruning — the same rule the in-process overlay applies. Caller
-// holds f.mu.
-func (f *Fed) rebuildLink(l *peerLink) {
-	eng := core.NewEngine(f.sch, f.engineCfg)
-	for _, p := range l.routes {
-		if f.opts.Covering && routing.CoveredByOther(f.sch, p, l.routes) {
-			continue
-		}
-		if err := eng.AddProfile(p); err != nil {
-			f.log.Printf("federation: link %s route %s: %v", l.name, p.ID, err)
-		}
-	}
-	l.engine = eng
 }
 
 // dropLink removes a dead link and withdraws its routes from the remaining
@@ -749,13 +728,18 @@ func (f *Fed) Stats() (node string, peers int, forwarded, filtered uint64) {
 }
 
 // RouteCount returns the number of uncovered routes on the link to the named
-// peer (0 when the link is down) — the wire twin of Node.RouteCount.
+// peer (0 when the link is down) — the wire twin of Node.RouteCount. With
+// covering that is the link poset's root count: covered routes stay
+// registered but uncounted, matching the pruned tables of the rescan era.
 func (f *Fed) RouteCount(peer string) int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	l, ok := f.byName[peer]
 	if !ok {
 		return 0
+	}
+	if st := l.engine.AggStats(); st.Enabled {
+		return st.Roots
 	}
 	return l.engine.ProfileCount()
 }

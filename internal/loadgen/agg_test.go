@@ -1,0 +1,103 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+// TestAggregatedFlatTwin pins aggregation's semantics and memory win
+// against a flat twin: the same clustered plan with aggregation off must
+// match exactly the same events while costing several times more resident
+// bytes per subscription. The twin runs at a reduced population because
+// the un-aggregated batch build is superlinear in distinct structures —
+// a few hundred profiles is already seconds of build; the full scenario's
+// population is out of its reach entirely (which is the point of the
+// aggregated path).
+func TestAggregatedFlatTwin(t *testing.T) {
+	sc, err := ScenarioByName("aggregated-mega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Profiles = 600
+	sc.Events = 400
+
+	flat := sc
+	flat.Aggregate = false
+
+	aggRes := runDriver(t, sc)
+	flatRes := runDriver(t, flat)
+
+	// Semantics first: aggregation is an index transform, not a filter
+	// change. Both runs consume the identical plan, so the matched totals
+	// must agree event for event.
+	if aggRes.Workload.MatchedTotal != flatRes.Workload.MatchedTotal ||
+		aggRes.Workload.WarmupMatched != flatRes.Workload.WarmupMatched {
+		t.Fatalf("aggregated matched %d+%d, flat matched %d+%d",
+			aggRes.Workload.MatchedTotal, aggRes.Workload.WarmupMatched,
+			flatRes.Workload.MatchedTotal, flatRes.Workload.WarmupMatched)
+	}
+	if aggRes.Workload.MatchedTotal == 0 {
+		t.Fatal("scenario matched nothing; the workload is degenerate")
+	}
+	if flatRes.Workload.CanonicalNodes != 0 {
+		t.Fatalf("flat run reported %d canonical nodes, want 0", flatRes.Workload.CanonicalNodes)
+	}
+
+	// Memory: the poset shares one automaton entry per structure, so the
+	// per-subscription resident cost must sit well under the flat index's
+	// (measured ~17x at this scale; 3x is the gate with noise headroom).
+	aggBytes, flatBytes := aggRes.Measured.BytesPerSub, flatRes.Measured.BytesPerSub
+	t.Logf("bytes/subscription: aggregated %.0f, flat %.0f", aggBytes, flatBytes)
+	if aggBytes <= 0 || flatBytes <= 0 {
+		t.Fatal("bytes/subscription measurement degenerate; harness bug")
+	}
+	if flatBytes/aggBytes < 3 {
+		t.Errorf("aggregated uses %.0f bytes/sub vs flat %.0f — want >= 3x reduction", aggBytes, flatBytes)
+	}
+	t.Logf("throughput: aggregated %.0f events/s, flat %.0f events/s",
+		aggRes.Measured.ThroughputEPS, flatRes.Measured.ThroughputEPS)
+}
+
+// TestAggregatedMegaCompression runs the scenario at the CI smoke scale —
+// exactly what the perf gate records — and pins the canonical index's
+// compression and the absolute memory ceiling the gate enforces.
+func TestAggregatedMegaCompression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario")
+	}
+	sc, err := ScenarioByName("aggregated-mega")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = Scale(sc, smokeScale)
+
+	res := runDriver(t, sc)
+	if res.Workload.MatchedTotal == 0 {
+		t.Fatal("scenario matched nothing; the workload is degenerate")
+	}
+
+	// The cluster spec bounds the structure pool at Distinct x (1+Variants)
+	// templates, so the poset must be several times smaller than the
+	// population: >= 5x here (measured ~7x; full scale reaches ~25x).
+	nodes := res.Workload.CanonicalNodes
+	if nodes == 0 {
+		t.Fatal("aggregated run reported no canonical nodes")
+	}
+	compression := float64(res.Profiles) / float64(nodes)
+	t.Logf("canonical index: %d nodes (%d roots, depth %d) for %d subscriptions — %.1fx compression",
+		nodes, res.Workload.CanonicalRoots, res.Workload.PosetDepth, res.Profiles, compression)
+	if compression < 5 {
+		t.Errorf("canonical compression %.1fx, want >= 5x", compression)
+	}
+
+	// The absolute ceiling the CI gate applies to the recorded report must
+	// hold when the scenario runs here, or the gate is already broken.
+	bytes := res.Measured.BytesPerSub
+	ceiling := BytesPerSubCaps[sc.Name]
+	t.Logf("bytes/subscription: %.0f (gate ceiling %.0f)", bytes, ceiling)
+	if bytes <= 0 {
+		t.Fatal("bytes/subscription measurement degenerate; harness bug")
+	}
+	if bytes > ceiling {
+		t.Errorf("%.0f bytes/sub exceeds the gate's %.0f ceiling", bytes, ceiling)
+	}
+}

@@ -45,15 +45,16 @@ type Counters struct {
 
 // OpenDriver constructs the scenario's driver over the plan's schema.
 func OpenDriver(sc Scenario, sch *schema.Schema) (Driver, error) {
+	cfg := core.Config{Aggregate: sc.Aggregate}
 	switch sc.Driver {
 	case "", "engine":
-		return &filterDriver{name: "engine", f: core.NewEngine(sch, core.Config{})}, nil
+		return &filterDriver{name: "engine", f: core.NewEngine(sch, cfg)}, nil
 	case "sharded":
 		n := core.ResolveShards(sc.Shards)
 		if n < 2 {
 			n = 2 // a 1-way "sharded" engine would silently degenerate
 		}
-		return &filterDriver{name: "sharded", f: core.NewSharded(sch, core.Config{}, n)}, nil
+		return &filterDriver{name: "sharded", f: core.NewSharded(sch, cfg, n)}, nil
 	case "service":
 		return newServiceDriver(sc, sch)
 	case "wire":
@@ -99,6 +100,9 @@ func (d *filterDriver) Drain() (Counters, error) { return Counters{}, nil }
 
 func (d *filterDriver) Close() error { return nil }
 
+// AggStats reports the engine's canonical-aggregation shape.
+func (d *filterDriver) AggStats() core.AggStats { return d.f.AggStats() }
+
 // serviceDriver runs the full genas.Service: matching plus delivery to
 // handler-driven subscriptions (the cheapest delivery mode, so the measured
 // cost is the service path, not a synthetic consumer).
@@ -111,6 +115,9 @@ func newServiceDriver(sc Scenario, sch *schema.Schema) (*serviceDriver, error) {
 	opts := []genas.Option{genas.WithShards(sc.Shards)}
 	if sc.Adaptive {
 		opts = append(opts, genas.WithAdaptive())
+	}
+	if sc.Aggregate {
+		opts = append(opts, genas.WithAggregation())
 	}
 	svc, err := genas.NewService(sch, opts...)
 	if err != nil {
@@ -166,6 +173,18 @@ func (d *serviceDriver) Drain() (Counters, error) {
 func (d *serviceDriver) Close() error {
 	d.svc.Close()
 	return nil
+}
+
+// AggStats reports the service engine's canonical-aggregation shape.
+func (d *serviceDriver) AggStats() core.AggStats {
+	st := d.svc.Stats()
+	return core.AggStats{
+		Enabled:       st.Aggregated,
+		Subscriptions: st.Subscriptions,
+		Nodes:         st.CanonicalNodes,
+		Roots:         st.CanonicalRoots,
+		MaxDepth:      st.PosetDepth,
+	}
 }
 
 // waitStable polls a monotone counter until it holds still for a few

@@ -75,6 +75,14 @@ type Scenario struct {
 	// ConstrainP is the probability a profile constrains an attribute
 	// (default 0.7); at least one attribute is always constrained.
 	ConstrainP float64 `json:"constrain_p,omitempty"`
+	// Clusters, when set, draws profiles from a small Zipf-weighted pool of
+	// structural templates instead of generating each one independently —
+	// the many-subscribers-few-shapes population canonical aggregation
+	// exists for.
+	Clusters *ClusterSpec `json:"clusters,omitempty"`
+	// Aggregate enables canonical subscription aggregation on the engine,
+	// sharded and service drivers.
+	Aggregate bool `json:"aggregate,omitempty"`
 	// Correlated, when set, samples whole event vectors from a weighted
 	// mixture of per-attribute product components — the standard
 	// counterexample to the independence assumption.
@@ -111,6 +119,26 @@ type HotKeySpec struct {
 	// K is the hot-set size, S the Zipf exponent (default 16 and 1.2).
 	K int     `json:"k,omitempty"`
 	S float64 `json:"s,omitempty"`
+}
+
+// ClusterSpec declares a Zipf-clustered profile population: Distinct
+// structural templates are generated up front, each with Variants strictly
+// narrower refinements. Every subscription then copies a template picked by
+// a Zipf law with exponent S (> 1, default 1.1) — or, with probability
+// RefineP, one of that template's refinements. Ids stay unique per
+// subscription; only the predicate structure repeats, which is exactly what
+// canonical aggregation interns.
+type ClusterSpec struct {
+	// Distinct is the template pool size.
+	Distinct int `json:"distinct"`
+	// S is the Zipf exponent ranking template popularity (default 1.1).
+	S float64 `json:"s,omitempty"`
+	// RefineP is the probability a subscription takes a refinement of its
+	// template instead of the template itself (default 0).
+	RefineP float64 `json:"refine_p,omitempty"`
+	// Variants is the number of refinements generated per template
+	// (default 0; required > 0 when RefineP > 0).
+	Variants int `json:"variants,omitempty"`
 }
 
 // ChurnSpec schedules subscription churn: every Every events, Ops profiles
@@ -236,6 +264,17 @@ func (sc *Scenario) compile() (*compiled, error) {
 			return nil, fmt.Errorf("%w %s: churn interval and ops must be positive", ErrBadScenario, sc.Name)
 		}
 	}
+	if cl := sc.Clusters; cl != nil {
+		if cl.Distinct <= 0 {
+			return nil, fmt.Errorf("%w %s: clusters need a positive distinct count", ErrBadScenario, sc.Name)
+		}
+		if cl.RefineP < 0 || cl.RefineP > 1 {
+			return nil, fmt.Errorf("%w %s: cluster refine probability %g", ErrBadScenario, sc.Name, cl.RefineP)
+		}
+		if cl.RefineP > 0 && cl.Variants <= 0 {
+			return nil, fmt.Errorf("%w %s: refine probability without variants", ErrBadScenario, sc.Name)
+		}
+	}
 	return c, nil
 }
 
@@ -312,6 +351,9 @@ func Build(sc Scenario) (*Plan, error) {
 	}
 
 	gen := &profileGen{c: c, sc: sc}
+	if sc.Clusters != nil {
+		gen.seedClusters(rng)
+	}
 	p.Initial = make([]*predicate.Profile, sc.Profiles)
 	for i := range p.Initial {
 		p.Initial[i] = gen.next(rng)
@@ -361,15 +403,96 @@ func (c *compiled) sampleEvent(rng *rand.Rand, zipf *rand.Zipf) []float64 {
 
 // profileGen synthesizes the profile population: per attribute, a range
 // predicate centered on a draw from the profile-shape distribution with a
-// jittered width, constrained with probability ConstrainP.
+// jittered width, constrained with probability ConstrainP. With Clusters
+// set, generation instead copies structure from a pre-built template pool.
 type profileGen struct {
 	c   *compiled
 	sc  Scenario
 	seq int
+	// templates and variants hold the cluster pool: variants[k] are strict
+	// refinements of templates[k]. Empty without Clusters.
+	templates []*predicate.Profile
+	variants  [][]*predicate.Profile
+	zipf      *rand.Zipf
 }
 
-// next generates one fresh profile with a population-unique id.
+// seedClusters builds the template pool and its refinements. Deterministic:
+// driven entirely by the plan's single generator.
+func (g *profileGen) seedClusters(rng *rand.Rand) {
+	cl := g.sc.Clusters
+	s := cl.S
+	if s <= 1 {
+		s = 1.1
+	}
+	g.templates = make([]*predicate.Profile, cl.Distinct)
+	g.variants = make([][]*predicate.Profile, cl.Distinct)
+	for k := range g.templates {
+		g.templates[k] = g.fresh(rng)
+		g.variants[k] = make([]*predicate.Profile, 0, cl.Variants)
+		for v := 0; v < cl.Variants; v++ {
+			if r := refineProfile(g.c.sch, g.templates[k], rng); r != nil {
+				g.variants[k] = append(g.variants[k], r)
+			}
+		}
+	}
+	g.zipf = rand.NewZipf(rng, s, 1, uint64(cl.Distinct-1))
+}
+
+// refineProfile builds a strictly narrower copy of p: every constrained
+// range shrinks inside its original bounds, so the template covers the
+// refinement by construction. Returns nil when shrinking degenerates (point
+// predicates on integer domains can have nothing inside them).
+func refineProfile(sch *schema.Schema, p *predicate.Profile, rng *rand.Rand) *predicate.Profile {
+	var preds []predicate.Predicate
+	for i := 0; i < sch.N(); i++ {
+		if !p.Constrains(i) {
+			continue
+		}
+		dom := sch.At(i).Domain
+		ivs := p.Pred(i).Intervals(dom)
+		iv := ivs[rng.Intn(len(ivs))]
+		w := iv.Hi - iv.Lo
+		lo := iv.Lo + rng.Float64()*w/2
+		hi := hiOf(lo, iv.Hi, rng)
+		pr, err := predicate.NewRange(i, lo, hi)
+		if err != nil {
+			return nil
+		}
+		preds = append(preds, pr)
+	}
+	r, err := predicate.New(sch, predicate.ID("t"), preds...)
+	if err != nil {
+		return nil
+	}
+	return r
+}
+
+// hiOf draws a refinement's upper bound in (lo, hi].
+func hiOf(lo, hi float64, rng *rand.Rand) float64 {
+	return hi - rng.Float64()*(hi-lo)/2
+}
+
+// next generates one fresh profile with a population-unique id: a pool copy
+// under Clusters, an independent draw otherwise.
 func (g *profileGen) next(rng *rand.Rand) *predicate.Profile {
+	if g.templates == nil {
+		return g.fresh(rng)
+	}
+	k := int(g.zipf.Uint64())
+	src := g.templates[k]
+	if vs := g.variants[k]; len(vs) > 0 && rng.Float64() < g.sc.Clusters.RefineP {
+		src = vs[rng.Intn(len(vs))]
+	}
+	id := predicate.ID(fmt.Sprintf("p%06d", g.seq))
+	g.seq++
+	// Same structure, fresh identity: this is the population shape the
+	// canonical layer interns. Preds may alias the pool copy — profiles are
+	// immutable after construction.
+	return &predicate.Profile{ID: id, Preds: src.Preds, Priority: src.Priority}
+}
+
+// fresh generates one independent profile with a population-unique id.
+func (g *profileGen) fresh(rng *rand.Rand) *predicate.Profile {
 	sch := g.c.sch
 	widthFrac := g.sc.ProfileWidth
 	if widthFrac <= 0 {

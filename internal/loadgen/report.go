@@ -112,6 +112,10 @@ type Regression struct {
 	// allocation ceiling rather than a relative throughput drop.
 	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
 	AllocCap       float64 `json:"alloc_cap,omitempty"`
+	// BytesPerSub and BytesCap are set when the row failed an absolute
+	// memory-per-subscription ceiling.
+	BytesPerSub float64 `json:"bytes_per_sub,omitempty"`
+	BytesCap    float64 `json:"bytes_cap,omitempty"`
 }
 
 // String renders one regression for gate logs.
@@ -122,6 +126,10 @@ func (g Regression) String() string {
 	if g.AllocCap > 0 {
 		return fmt.Sprintf("%s: %.1f allocs/event exceeds the %.0f allocs/event ceiling",
 			g.Scenario, g.AllocsPerEvent, g.AllocCap)
+	}
+	if g.BytesCap > 0 {
+		return fmt.Sprintf("%s: %.0f bytes/subscription exceeds the %.0f bytes/subscription ceiling",
+			g.Scenario, g.BytesPerSub, g.BytesCap)
 	}
 	return fmt.Sprintf("%s: %.0f -> %.0f events/s (%.1f%% of baseline)",
 		g.Scenario, g.OldEPS, g.NewEPS, g.Ratio*100)
@@ -137,9 +145,21 @@ var AllocCaps = map[string]float64{
 	"churn-heavy": 100,
 }
 
+// BytesPerSubCaps lists absolute ceilings on resident heap bytes per
+// registered subscription, by scenario name. The aggregated-mega ceiling
+// pins canonical aggregation's memory win: at smoke scale the clustered
+// population measures ~4.5 KiB/subscription (the un-aggregated automaton
+// costs ~50x that, when it can be built at all), so the 8 KiB ceiling
+// leaves noise headroom while still catching a collapse back to
+// per-profile indexing.
+var BytesPerSubCaps = map[string]float64{
+	"aggregated-mega": 8192,
+}
+
 // Compare gates cur against base: every baseline scenario must still exist
 // and keep at least (1 − tolerance) of its throughput, and every scenario
-// with an AllocCaps entry must stay under its allocs-per-event ceiling.
+// with an AllocCaps (BytesPerSubCaps) entry must stay under its
+// allocs-per-event (bytes-per-subscription) ceiling.
 // Improvements and scenarios new to the suite never fail the gate. A
 // tolerance of 0.25 tolerates a 25% drop.
 func Compare(base, cur *Report, tolerance float64) []Regression {
@@ -176,6 +196,17 @@ func Compare(base, cur *Report, tolerance float64) []Regression {
 			Scenario:       r.Name,
 			AllocsPerEvent: r.Measured.AllocsPerEvent,
 			AllocCap:       ceiling,
+		})
+	}
+	for _, r := range cur.Scenarios {
+		ceiling, ok := BytesPerSubCaps[r.Name]
+		if !ok || r.Measured.BytesPerSub <= ceiling {
+			continue
+		}
+		regs = append(regs, Regression{
+			Scenario:    r.Name,
+			BytesPerSub: r.Measured.BytesPerSub,
+			BytesCap:    ceiling,
 		})
 	}
 	return regs

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"genas/internal/core"
 )
 
 // Workload is the deterministic outcome of a run: identical across
@@ -24,6 +26,12 @@ type Workload struct {
 	// Counters are the driver's post-drain delivery counters (asynchronous
 	// drivers only).
 	Counters Counters `json:"counters"`
+	// CanonicalNodes/CanonicalRoots/PosetDepth describe the driver's
+	// canonical-aggregation layer after the run (aggregated drivers only).
+	// Like the match totals they are a pure function of the plan.
+	CanonicalNodes int `json:"canonical_nodes,omitempty"`
+	CanonicalRoots int `json:"canonical_roots,omitempty"`
+	PosetDepth     int `json:"poset_depth,omitempty"`
 }
 
 // Measured is the run's timing-dependent side: everything here varies with
@@ -43,6 +51,10 @@ type Measured struct {
 	// AllocsPerEvent is the heap allocation count per published event over
 	// the whole process (drivers with background goroutines included).
 	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// BytesPerSub is the live-heap growth across subscription registration
+	// and the warmup build, divided by the initial population size: the
+	// steady-state memory cost of holding one subscription indexed.
+	BytesPerSub float64 `json:"bytes_per_sub"`
 }
 
 // Result is one scenario's report entry.
@@ -82,9 +94,22 @@ func Run(sc Scenario) (*Result, error) {
 	return res, nil
 }
 
+// aggStater is the optional driver surface reporting the canonical
+// aggregation layer's shape (the in-process drivers expose it).
+type aggStater interface {
+	AggStats() core.AggStats
+}
+
 // runPlan executes a built plan against an open driver.
 func runPlan(plan *Plan, drv Driver) (*Result, error) {
 	sc := plan.Scenario
+
+	// Live-heap floor before any subscription exists: the delta across
+	// registration plus the warmup build is the index's resident cost.
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+
 	for _, p := range plan.Initial {
 		if err := drv.Subscribe(p); err != nil {
 			return nil, fmt.Errorf("subscribe %s: %w", p.ID, err)
@@ -103,6 +128,13 @@ func runPlan(plan *Plan, drv Driver) (*Result, error) {
 	warmup, err := drv.Publish(plan.Events[0])
 	if err != nil {
 		return nil, fmt.Errorf("warmup publish: %w", err)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	bytesPerSub := 0.0
+	if ms1.HeapAlloc > ms0.HeapAlloc && len(plan.Initial) > 0 {
+		bytesPerSub = float64(ms1.HeapAlloc-ms0.HeapAlloc) / float64(len(plan.Initial))
 	}
 
 	batch := sc.Batch
@@ -185,7 +217,15 @@ func runPlan(plan *Plan, drv Driver) (*Result, error) {
 			P99Micros:      percentileMicros(lats, 0.99),
 			MatchesPerSec:  float64(matched) / secs,
 			AllocsPerEvent: float64(m1.Mallocs-m0.Mallocs) / float64(len(plan.Events)),
+			BytesPerSub:    bytesPerSub,
 		},
+	}
+	if a, ok := drv.(aggStater); ok {
+		if st := a.AggStats(); st.Enabled {
+			res.Workload.CanonicalNodes = st.Nodes
+			res.Workload.CanonicalRoots = st.Roots
+			res.Workload.PosetDepth = st.MaxDepth
+		}
 	}
 	return res, nil
 }

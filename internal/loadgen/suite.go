@@ -105,6 +105,25 @@ var scenarios = map[string]Scenario{
 		Batch: 32,
 	},
 
+	// aggregated-mega: canonical aggregation's home turf — 10⁵ subscriptions
+	// drawn from 10³ Zipf-ranked structural templates (a quarter of them
+	// narrowed refinements), filtered with aggregation on. The automaton
+	// indexes only the poset's uncovered roots, so the canonical index stays
+	// thousands of times smaller than the subscription count, match cost
+	// tracks the distinct-structure population, and bytes/subscription is
+	// gated absolutely (BytesPerSubCaps).
+	"aggregated-mega": {
+		Name:        "aggregated-mega",
+		Driver:      "engine",
+		Schema:      stdSchema,
+		Seed:        8,
+		Events:      20000,
+		Profiles:    100000,
+		Clusters:    &ClusterSpec{Distinct: 1000, S: 1.1, RefineP: 0.25, Variants: 3},
+		EventShapes: map[string]string{"temperature": "d14", "humidity": "d4"},
+		Aggregate:   true,
+	},
+
 	// federated-3hop: a four-daemon chain over real TCP links; events enter
 	// at the head, all subscribers sit three hops away at the tail, and the
 	// skewed stream lets the per-link filters reject most events before
@@ -124,9 +143,9 @@ var scenarios = map[string]Scenario{
 // suites maps suite name → member scenarios. smoke is the CI gate's suite:
 // every driver class represented, sized to finish in seconds on one core.
 var suites = map[string][]string{
-	"smoke": {"uniform-dense", "zipf-hot", "correlated-storm", "churn-heavy", "federated-3hop"},
+	"smoke": {"uniform-dense", "zipf-hot", "correlated-storm", "churn-heavy", "aggregated-mega", "federated-3hop"},
 	"full": {"uniform-dense", "zipf-hot", "correlated-storm", "churn-heavy",
-		"adaptive-drift", "wire-roundtrip", "federated-3hop"},
+		"adaptive-drift", "wire-roundtrip", "aggregated-mega", "federated-3hop"},
 }
 
 // smokeScale shrinks full-size scenarios to CI smoke size.

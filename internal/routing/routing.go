@@ -34,7 +34,10 @@ var (
 
 // Options configure a Network.
 type Options struct {
-	// Covering enables covering-based propagation pruning.
+	// Covering enables covering-based propagation pruning: link engines run
+	// in aggregated mode, so each route install is one incremental covering-
+	// poset insertion instead of an O(n²) rescan of the whole route set, and
+	// only uncovered (root) routes are indexed for forwarding decisions.
 	Covering bool
 	// Engine configures every filter engine in the overlay (local and
 	// per-link).
@@ -93,8 +96,22 @@ type link struct {
 	peer *Node
 	// routes maps profile id to the propagated profile.
 	routes map[predicate.ID]*predicate.Profile
-	// engine filters events against the uncovered route set.
+	// filter is the concrete engine route churn mutates incrementally. With
+	// covering enabled it runs in aggregated mode: the canonical poset prunes
+	// covered routes structurally, replacing the per-install rescan.
+	filter *core.Engine
+	// engine is the match surface deliver reads. It normally aliases filter;
+	// tests substitute failing filters to pin deliver's error behavior.
 	engine linkFilter
+}
+
+// newLink builds the routing state toward peer. Covering links aggregate:
+// the engine's poset maintains the uncovered route set incrementally.
+func (nw *Network) newLink(peer *Node) *link {
+	cfg := nw.opts.Engine
+	cfg.Aggregate = nw.opts.Covering
+	eng := core.NewEngine(nw.schema, cfg)
+	return &link{peer: peer, routes: make(map[predicate.ID]*predicate.Profile), filter: eng, engine: eng}
 }
 
 // AddNode creates a broker node.
@@ -161,10 +178,10 @@ func (nw *Network) Connect(a, b string) error {
 	nw.parent[nw.find(a)] = nw.find(b)
 
 	na.mu.Lock()
-	na.links[b] = &link{peer: nb, routes: make(map[predicate.ID]*predicate.Profile), engine: core.NewEngine(nw.schema, nw.opts.Engine)}
+	na.links[b] = nw.newLink(nb)
 	na.mu.Unlock()
 	nb.mu.Lock()
-	nb.links[a] = &link{peer: na, routes: make(map[predicate.ID]*predicate.Profile), engine: core.NewEngine(nw.schema, nw.opts.Engine)}
+	nb.links[a] = nw.newLink(na)
 	nb.mu.Unlock()
 	return nil
 }
@@ -217,7 +234,10 @@ func (n *Node) propagate(p *predicate.Profile, from string) {
 	}
 }
 
-// installRoute records that profiles in direction `via` include p.
+// installRoute records that profiles in direction `via` include p. The link
+// engine is mutated incrementally: one AddProfile, which under covering is a
+// single poset insertion — the engine's aggregation layer demotes newly
+// covered routes itself, so no rescan of the existing route set happens here.
 func (n *Node) installRoute(via string, p *predicate.Profile) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -225,8 +245,13 @@ func (n *Node) installRoute(via string, p *predicate.Profile) {
 	if !ok {
 		return
 	}
+	if _, exists := l.routes[p.ID]; exists {
+		// Re-install under the same id: replace, never duplicate.
+		_ = l.filter.RemoveProfile(p.ID)
+	}
 	l.routes[p.ID] = p
-	n.rebuildLink(l)
+	// Cannot fail: the id is not registered (checked above).
+	_ = l.filter.AddProfile(p)
 }
 
 // withdraw removes the route for id in every direction away from `from`.
@@ -246,6 +271,10 @@ func (n *Node) withdraw(id predicate.ID, from string) {
 	}
 }
 
+// removeRoute withdraws id from the link toward `via`. Under covering the
+// engine's poset re-arms previously covered routes itself (kids of an
+// emptied node re-link upward or promote to roots), so withdrawal is one
+// incremental RemoveProfile, not a rebuild.
 func (n *Node) removeRoute(via string, id predicate.ID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -253,28 +282,22 @@ func (n *Node) removeRoute(via string, id predicate.ID) {
 	if !ok {
 		return
 	}
-	delete(l.routes, id)
-	n.rebuildLink(l)
-}
-
-// rebuildLink refreshes the link's filter engine from its route set,
-// applying covering pruning when enabled. Caller holds n.mu.
-func (n *Node) rebuildLink(l *link) {
-	eng := core.NewEngine(n.nw.schema, n.nw.opts.Engine)
-	for _, p := range l.routes {
-		if n.nw.opts.Covering && CoveredByOther(n.nw.schema, p, l.routes) {
-			continue
-		}
-		// Engine add cannot fail here: ids are unique within routes.
-		_ = eng.AddProfile(p)
+	if _, exists := l.routes[id]; !exists {
+		return
 	}
-	l.engine = eng
+	delete(l.routes, id)
+	// Cannot fail: the id was registered (checked above).
+	_ = l.filter.RemoveProfile(id)
 }
 
 // CoveredByOther reports whether some other route strictly covers p. Ties
 // (mutual covering, i.e. equivalent profiles) keep the lexicographically
-// smallest id to avoid dropping both. The wire-level federation applies the
-// same pruning rule to its per-peer-link route sets.
+// smallest id to avoid dropping both.
+//
+// Route pruning itself no longer calls this — the link engines' covering
+// poset maintains the uncovered set incrementally. It survives as the
+// quadratic reference oracle: property tests check the poset's covering
+// order against it pair by pair.
 func CoveredByOther(s *schema.Schema, p *predicate.Profile, routes map[predicate.ID]*predicate.Profile) bool {
 	for id, q := range routes {
 		if id == p.ID {
@@ -359,12 +382,18 @@ func (n *Node) Broker() *broker.Broker { return n.local }
 func (n *Node) Name() string { return n.name }
 
 // RouteCount returns the number of uncovered routes installed toward `via`.
+// With covering enabled that is the link poset's root count: covered routes
+// stay registered (so withdrawal of their coverer re-arms them) but are not
+// counted, matching the pruned route table of the rescan era.
 func (n *Node) RouteCount(via string) int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	l, ok := n.links[via]
 	if !ok {
 		return 0
+	}
+	if st := l.filter.AggStats(); st.Enabled {
+		return st.Roots
 	}
 	return l.engine.ProfileCount()
 }

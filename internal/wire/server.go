@@ -389,6 +389,13 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		if a := s.brk.Adaptor(); a != nil {
 			payload.Restructures = a.Restructures()
 		}
+		if ag := st.Aggregation; ag.Enabled {
+			payload.Aggregated = true
+			payload.CanonicalNodes = ag.Nodes
+			payload.CanonicalRoots = ag.Roots
+			payload.PosetDepth = ag.MaxDepth
+			payload.ProfilesPerCanonical = ag.Ratio()
+		}
 		if s.overlay != nil {
 			payload.Node, payload.Peers, payload.Forwarded, payload.Filtered = s.overlay.Stats()
 		}

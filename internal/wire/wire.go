@@ -138,6 +138,14 @@ type StatsPayload struct {
 	FilterOps     uint64  `json:"filter_ops"`
 	MeanOps       float64 `json:"mean_ops"`
 	Restructures  int     `json:"restructures,omitempty"`
+	// Aggregation counters (aggregated daemons only): distinct canonical
+	// predicate nodes, uncovered roots the automaton indexes, the longest
+	// covering chain, and subscriptions-per-canonical-node.
+	Aggregated           bool    `json:"aggregated,omitempty"`
+	CanonicalNodes       int     `json:"canonical_nodes,omitempty"`
+	CanonicalRoots       int     `json:"canonical_roots,omitempty"`
+	PosetDepth           int     `json:"poset_depth,omitempty"`
+	ProfilesPerCanonical float64 `json:"profiles_per_canonical,omitempty"`
 	// Node names this daemon in the overlay (federated daemons only).
 	Node string `json:"fed_node,omitempty"`
 	// Peers counts live peer links.
