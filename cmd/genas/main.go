@@ -46,8 +46,9 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("genas", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr = fs.String("addr", "localhost:7452", "daemon address")
-		wait = fs.Duration("wait", 0, "after subscribing, listen for notifications this long (0 = forever)")
+		addr  = fs.String("addr", "localhost:7452", "daemon address")
+		wait  = fs.Duration("wait", 0, "after subscribing, listen for notifications this long (0 = forever)")
+		proto = fs.String("proto", "auto", "wire protocol: auto (negotiate), v1 (JSON lines) or v2 (require binary frames)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -63,7 +64,20 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	c, err := wire.Dial(*addr, rpcTimeout)
+	var p wire.Proto
+	switch *proto {
+	case "auto":
+		p = wire.ProtoAuto
+	case "v1":
+		p = wire.ProtoV1
+	case "v2":
+		p = wire.ProtoV2
+	default:
+		logger.Printf("bad -proto %q (want auto, v1 or v2)", *proto)
+		return 2
+	}
+
+	c, err := wire.DialWith(*addr, wire.DialConfig{Timeout: rpcTimeout, Proto: p})
 	if err != nil {
 		logger.Print(err)
 		return 1
@@ -170,6 +184,13 @@ func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if st.Node != "" {
 			fmt.Fprintf(stdout, "federation node: %s\npeers: %d\nforwarded: %d\nrejected at links: %d\n",
 				st.Node, st.Peers, st.Forwarded, st.Filtered)
+			fmt.Fprintf(stdout, "v2 peers: %d\n", st.ProtoV2Peers)
+		}
+		if st.BytesPerEventWire > 0 {
+			fmt.Fprintf(stdout, "wire bytes/event: %.1f\n", st.BytesPerEventWire)
+		}
+		if st.FramesPipelined > 0 {
+			fmt.Fprintf(stdout, "frames pipelined: %d\n", st.FramesPipelined)
 		}
 		return 0
 
@@ -453,8 +474,11 @@ func listen(c *wire.Client, d time.Duration, stdout io.Writer) int {
 			if !ok {
 				return 0
 			}
-			parts := make([]string, 0, len(n.Event))
-			for k, v := range n.Event {
+			// EventMap resolves the payload for either protocol: v1 carries
+			// the attribute map, v2 a schema-order vector.
+			ev := c.EventMap(n)
+			parts := make([]string, 0, len(ev))
+			for k, v := range ev {
 				parts = append(parts, fmt.Sprintf("%s=%g", k, v))
 			}
 			fmt.Fprintf(stdout, "notification #%d for %s: %s\n", n.Seq, n.Profile, strings.Join(parts, " "))

@@ -1,0 +1,276 @@
+package genas
+
+import (
+	"time"
+
+	"genas/internal/federation"
+	"genas/internal/wire"
+)
+
+// Protocol selects a wire protocol generation when dialing a daemon or
+// joining a federation.
+type Protocol int
+
+// Protocol generations.
+const (
+	// Auto negotiates: binary v2 frames when the server supports them, the
+	// v1 JSON-line protocol otherwise. The default.
+	Auto Protocol = iota
+	// V1 pins the connection to the JSON-line protocol.
+	V1
+	// V2 requires the binary frame protocol: Dial fails instead of falling
+	// back. On JoinNetwork it behaves like Auto — each peer link negotiates
+	// independently, so a mixed-version federation keeps forwarding.
+	V2
+)
+
+func (p Protocol) wireProto() wire.Proto {
+	switch p {
+	case V1:
+		return wire.ProtoV1
+	case V2:
+		return wire.ProtoV2
+	default:
+		return wire.ProtoAuto
+	}
+}
+
+// DialOption configures Dial and JoinNetwork.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	timeout time.Duration
+	proto   Protocol
+	depth   int
+	svcOpts []Option
+}
+
+// WithDialTimeout bounds the TCP connect and protocol handshake, and
+// becomes the default per-request timeout of the returned Client (zero
+// means no timeout).
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.timeout = d }
+}
+
+// WithProtocol pins or negotiates the wire protocol generation (default
+// Auto).
+func WithProtocol(p Protocol) DialOption {
+	return func(c *dialConfig) { c.proto = p }
+}
+
+// WithPipelineDepth caps the in-flight v2 frames per batched publish
+// (default wire.DefaultPipelineDepth; v1 connections always serialize).
+func WithPipelineDepth(n int) DialOption {
+	return func(c *dialConfig) { c.depth = n }
+}
+
+// WithServiceOptions forwards service construction options to the local
+// broker JoinNetwork creates. Dial ignores it (there is no local broker).
+func WithServiceOptions(opts ...Option) DialOption {
+	return func(c *dialConfig) { c.svcOpts = append(c.svcOpts, opts...) }
+}
+
+// Client is a connection to a remote genasd daemon. It is safe for
+// concurrent use. On a negotiated v2 connection events travel as binary
+// schema-order vectors and batched publishes pipeline; on v1 the JSON-line
+// protocol is spoken unchanged.
+type Client struct {
+	c       *wire.Client
+	timeout time.Duration
+	notifs  chan RemoteNotification
+}
+
+// RemoteNotification is one matched event delivered by a remote daemon.
+type RemoteNotification struct {
+	// Profile is the matched subscription's id.
+	Profile string
+	// Seq is the daemon's sequence number for the event.
+	Seq uint64
+	// Event is the payload as attribute name → value.
+	Event map[string]float64
+}
+
+// RemoteStats is a remote daemon's counter snapshot (the wire twin of
+// Stats, plus federation and protocol counters).
+type RemoteStats struct {
+	Subscriptions int
+	Published     uint64
+	Delivered     uint64
+	Dropped       uint64
+	FilterEvents  uint64
+	FilterOps     uint64
+	MeanOps       float64
+	Restructures  int
+	// Aggregation counters (aggregated daemons only).
+	Aggregated           bool
+	CanonicalNodes       int
+	CanonicalRoots       int
+	PosetDepth           int
+	ProfilesPerCanonical float64
+	// Federation counters (federated daemons only).
+	Node         string
+	Peers        int
+	Forwarded    uint64
+	Filtered     uint64
+	ProtoV2Peers int
+	// Wire-level counters: mean received bytes per published event and
+	// request frames observed queued behind the one being served.
+	BytesPerEventWire float64
+	FramesPipelined   uint64
+}
+
+// Dial connects to a genasd daemon. By default the protocol is negotiated:
+// a v2-capable daemon upgrades the connection to binary frames, any other
+// daemon is spoken to in v1 JSON lines. Options pin the protocol, bound the
+// handshake and set the pipelining depth.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	wc, err := wire.DialWith(addr, wire.DialConfig{
+		Timeout:       cfg.timeout,
+		Proto:         cfg.proto.wireProto(),
+		PipelineDepth: cfg.depth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{c: wc, timeout: cfg.timeout, notifs: make(chan RemoteNotification, 256)}
+	go c.convertNotifications()
+	return c, nil
+}
+
+// convertNotifications adapts the wire notification stream (maps on v1,
+// slot vectors on v2) to RemoteNotification values.
+func (c *Client) convertNotifications() {
+	for resp := range c.c.Notifications() {
+		n := RemoteNotification{Profile: resp.Profile, Seq: resp.Seq, Event: c.c.EventMap(resp)}
+		select {
+		case c.notifs <- n:
+		default: // drop when the consumer lags; mirrors broker policy
+		}
+	}
+	close(c.notifs)
+}
+
+// Protocol reports the connection's negotiated protocol generation (V1 or
+// V2).
+func (c *Client) Protocol() Protocol {
+	if c.c.Proto() >= wire.ProtoV2 {
+		return V2
+	}
+	return V1
+}
+
+// Notifications returns the inbound notification stream. The channel closes
+// when the connection drops.
+func (c *Client) Notifications() <-chan RemoteNotification { return c.notifs }
+
+// Ping round-trips a ping.
+func (c *Client) Ping() error { return c.c.Ping(c.timeout) }
+
+// Subscribe registers a profile expression under id on the remote daemon.
+func (c *Client) Subscribe(id, profileExpr string, priority float64) error {
+	return c.c.Subscribe(id, profileExpr, priority, c.timeout)
+}
+
+// Unsubscribe removes a subscription registered on this connection.
+func (c *Client) Unsubscribe(id string) error {
+	return c.c.Unsubscribe(id, c.timeout)
+}
+
+// Publish posts an event given as attribute name → value and returns the
+// number of matched profiles.
+func (c *Client) Publish(values map[string]float64) (int, error) {
+	return c.c.Publish(values, c.timeout)
+}
+
+// PublishValues posts one event as schema-order attribute values — the hot
+// path: on a v2 connection this is one small binary frame and no map is
+// built on either end.
+func (c *Client) PublishValues(vals ...float64) (int, error) {
+	return c.c.PublishVals(vals, c.timeout)
+}
+
+// PublishBatch posts several events in one request and returns per-event
+// match counts. Oversized batches split transparently; on v2 the chunks
+// pipeline.
+func (c *Client) PublishBatch(events []map[string]float64) ([]int, error) {
+	return c.c.PublishBatch(events, c.timeout)
+}
+
+// Quench asks whether the region [lo,hi] of attr has no subscribers.
+func (c *Client) Quench(attr string, lo, hi float64) (bool, error) {
+	return c.c.Quench(attr, lo, hi, c.timeout)
+}
+
+// Stats fetches the daemon's counter snapshot.
+func (c *Client) Stats() (RemoteStats, error) {
+	p, err := c.c.Stats(c.timeout)
+	if err != nil {
+		return RemoteStats{}, err
+	}
+	return RemoteStats{
+		Subscriptions:        p.Subscriptions,
+		Published:            p.Published,
+		Delivered:            p.Delivered,
+		Dropped:              p.Dropped,
+		FilterEvents:         p.FilterEvents,
+		FilterOps:            p.FilterOps,
+		MeanOps:              p.MeanOps,
+		Restructures:         p.Restructures,
+		Aggregated:           p.Aggregated,
+		CanonicalNodes:       p.CanonicalNodes,
+		CanonicalRoots:       p.CanonicalRoots,
+		PosetDepth:           p.PosetDepth,
+		ProfilesPerCanonical: p.ProfilesPerCanonical,
+		Node:                 p.Node,
+		Peers:                p.Peers,
+		Forwarded:            p.Forwarded,
+		Filtered:             p.Filtered,
+		ProtoV2Peers:         p.ProtoV2Peers,
+		BytesPerEventWire:    p.BytesPerEventWire,
+		FramesPipelined:      p.FramesPipelined,
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.c.Close() }
+
+// JoinNetwork joins a wire-level broker federation: it creates a local
+// service over sch named node and dials each peer genasd daemon (which must
+// be running with -node, and share the schema). The overlay must stay
+// acyclic, exactly like Network's topology. Initial dials are synchronous —
+// an unreachable peer fails fast — and dropped links reconnect in the
+// background with route replay. Peer links negotiate the wire protocol per
+// hop (WithProtocol(V1) pins them to JSON lines); WithServiceOptions
+// configures the local broker.
+func JoinNetwork(sch *Schema, node string, peers []string, opts ...DialOption) (*Federation, error) {
+	var cfg dialConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	svc, err := NewService(sch, cfg.svcOpts...)
+	if err != nil {
+		return nil, err
+	}
+	fed, err := federation.New(svc.brk, federation.Options{
+		Node:        node,
+		Covering:    true,
+		DialTimeout: cfg.timeout,
+		Proto:       cfg.proto.wireProto(),
+	})
+	if err != nil {
+		svc.Close()
+		return nil, err
+	}
+	f := &Federation{svc: svc, fed: fed}
+	for _, addr := range peers {
+		if err := fed.Dial(addr); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}

@@ -24,34 +24,22 @@ type FederationStats struct {
 	// Forwarded counts events this broker sent over a peer link; Filtered
 	// counts link crossings avoided by early rejection at its links.
 	Forwarded, Filtered uint64
+	// ProtoV2Peers counts peer links that negotiated the binary v2 wire
+	// protocol (the rest speak v1 JSON lines).
+	ProtoV2Peers int
 	// Local is the local broker's counter snapshot.
 	Local Stats
 }
 
-// DialNetwork joins a wire-level broker federation: it creates a local
-// service over sch named node and dials each peer genasd daemon (which must
-// be running with -node, and share the schema). The overlay must stay
-// acyclic, exactly like Network's topology. Initial dials are synchronous —
-// an unreachable peer fails fast — and dropped links reconnect in the
-// background with route replay.
+// DialNetwork joins a wire-level broker federation with default dial
+// behavior.
+//
+// Deprecated: use JoinNetwork, which takes typed DialOptions
+// (WithProtocol, WithDialTimeout, WithServiceOptions) instead of positional
+// service options. DialNetwork(sch, node, peers, opts...) is exactly
+// JoinNetwork(sch, node, peers, WithServiceOptions(opts...)).
 func DialNetwork(sch *Schema, node string, peers []string, opts ...Option) (*Federation, error) {
-	svc, err := NewService(sch, opts...)
-	if err != nil {
-		return nil, err
-	}
-	fed, err := federation.New(svc.brk, federation.Options{Node: node, Covering: true})
-	if err != nil {
-		svc.Close()
-		return nil, err
-	}
-	f := &Federation{svc: svc, fed: fed}
-	for _, addr := range peers {
-		if err := fed.Dial(addr); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	return f, nil
+	return JoinNetwork(sch, node, peers, WithServiceOptions(opts...))
 }
 
 // Schema returns the federation's schema.
@@ -123,11 +111,12 @@ func (f *Federation) PublishEvent(ev Event) (int, error) {
 func (f *Federation) Stats() FederationStats {
 	node, peers, forwarded, filtered := f.fed.Stats()
 	return FederationStats{
-		Node:      node,
-		Peers:     peers,
-		Forwarded: forwarded,
-		Filtered:  filtered,
-		Local:     f.svc.Stats(),
+		Node:         node,
+		Peers:        peers,
+		Forwarded:    forwarded,
+		Filtered:     filtered,
+		ProtoV2Peers: f.fed.ProtoV2Peers(),
+		Local:        f.svc.Stats(),
 	}
 }
 

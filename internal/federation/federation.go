@@ -64,6 +64,12 @@ type Options struct {
 	// RetryMin/RetryMax bound the reconnect backoff of dialed links
 	// (defaults 100ms and 3s).
 	RetryMin, RetryMax time.Duration
+	// Proto caps the protocol generation negotiated on peer links:
+	// wire.ProtoV1 pins every link to JSON lines, wire.ProtoAuto (zero) and
+	// wire.ProtoV2 negotiate binary frames per link (hello advertises it,
+	// the link speaks min of both ends — so a mixed-version chain keeps
+	// forwarding, each hop at the best protocol its ends share).
+	Proto wire.Proto
 	// Logger receives link lifecycle and protocol diagnostics (nil discards).
 	Logger *log.Logger
 }
@@ -77,6 +83,7 @@ type Fed struct {
 	sch       *schema.Schema
 	brk       *broker.Broker
 	opts      Options
+	maxProto  wire.Proto  // cap for per-link protocol negotiation
 	engineCfg core.Config // link engines inherit the broker's engine config
 	log       *log.Logger
 
@@ -101,6 +108,9 @@ type Fed struct {
 type peerLink struct {
 	name string
 	conn net.Conn
+	// proto is the link's negotiated protocol generation, fixed by the
+	// hello exchange before the link attaches.
+	proto wire.Proto
 	// out carries encoded frames to the writer goroutine. Enqueues happen
 	// only under Fed.mu (either side — close(out) runs under the write lock,
 	// which is what makes the pair race-free); a full queue means the peer
@@ -152,11 +162,16 @@ func New(brk *broker.Broker, opts Options) (*Fed, error) {
 	// are indexed for forwarding — no per-announcement rescans.
 	engineCfg := brk.Engine().Config()
 	engineCfg.Aggregate = opts.Covering
+	maxProto := wire.ProtoV2
+	if opts.Proto == wire.ProtoV1 {
+		maxProto = wire.ProtoV1
+	}
 	return &Fed{
 		name:      opts.Node,
 		sch:       brk.Schema(),
 		brk:       brk,
 		opts:      opts,
+		maxProto:  maxProto,
 		engineCfg: engineCfg,
 		log:       logger,
 		peers:     make(map[*peerLink]struct{}),
@@ -173,7 +188,7 @@ func (f *Fed) Node() string { return f.name }
 // (reconnect with route replay) until Close. Use DialRetry when the peer may
 // not be up yet.
 func (f *Fed) Dial(addr string) error {
-	l, sc, err := f.connect(addr)
+	l, rd, err := f.connect(addr)
 	if err != nil {
 		return err
 	}
@@ -190,7 +205,7 @@ func (f *Fed) Dial(addr string) error {
 	f.mu.Unlock()
 	go func() {
 		defer f.wg.Done()
-		f.runLink(l, sc)
+		f.runLink(l, rd)
 		f.supervise(addr)
 	}()
 	return nil
@@ -222,7 +237,7 @@ func (f *Fed) supervise(addr string) {
 		if f.isClosed() {
 			return
 		}
-		l, sc, err := f.connect(addr)
+		l, rd, err := f.connect(addr)
 		if err == nil {
 			err = f.attach(l)
 			if err != nil {
@@ -246,7 +261,7 @@ func (f *Fed) supervise(addr string) {
 			continue
 		}
 		backoff = f.opts.RetryMin
-		f.runLink(l, sc)
+		f.runLink(l, rd)
 	}
 }
 
@@ -257,30 +272,36 @@ func (f *Fed) isClosed() bool {
 }
 
 // connect dials addr and performs the hello handshake, returning the link
-// and its line scanner (positioned after the hello reply).
-func (f *Fed) connect(addr string) (*peerLink, *bufio.Scanner, error) {
+// and its buffered reader (positioned after the hello reply). The hello
+// advertises this daemon's protocol cap; the link speaks the minimum of the
+// two ends, so a pre-v2 acceptor (whose hello carries no proto) yields a
+// plain v1 link.
+func (f *Fed) connect(addr string) (*peerLink, *bufio.Reader, error) {
 	conn, err := net.DialTimeout("tcp", addr, f.opts.DialTimeout)
 	if err != nil {
 		return nil, nil, fmt.Errorf("federation: dial %s: %w", addr, err)
 	}
 	l := f.newLink(conn)
-	if err := f.writeFrame(conn, wire.Request{Op: wire.OpHello, Node: f.name, Schema: f.sch.String()}); err != nil {
+	hello := wire.Request{Op: wire.OpHello, Node: f.name, Schema: f.sch.String()}
+	if f.maxProto >= wire.ProtoV2 {
+		hello.Proto = int(wire.ProtoV2)
+	}
+	if err := f.writeFrame(conn, hello); err != nil {
 		_ = conn.Close()
 		return nil, nil, err
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	rd := bufio.NewReaderSize(conn, 64*1024)
 	_ = conn.SetReadDeadline(time.Now().Add(f.opts.DialTimeout))
-	if !sc.Scan() {
+	line, err := wire.ReadLine(rd)
+	if err != nil {
 		_ = conn.Close()
-		err := sc.Err()
-		if err == nil {
+		if err == io.EOF {
 			err = errors.New("connection closed during handshake")
 		}
 		return nil, nil, fmt.Errorf("federation: handshake with %s: %w", addr, err)
 	}
 	_ = conn.SetReadDeadline(time.Time{})
-	line := append([]byte(nil), sc.Bytes()...)
+	line = append([]byte(nil), line...)
 	// The acceptor reports handshake failures as an error response frame;
 	// responses carry a type field requests never have, so check that first.
 	if resp, rerr := wire.DecodeResponse(line); rerr == nil && resp.Type == wire.MsgError {
@@ -297,7 +318,17 @@ func (f *Fed) connect(addr string) (*peerLink, *bufio.Scanner, error) {
 		return nil, nil, err
 	}
 	l.name = reply.Node
-	return l, sc, nil
+	l.proto = negotiated(f.maxProto, reply.Proto)
+	return l, rd, nil
+}
+
+// negotiated resolves a link's protocol: the minimum of our cap and the
+// peer's advertised generation (absent = v1).
+func negotiated(ours wire.Proto, theirs int) wire.Proto {
+	if ours >= wire.ProtoV2 && theirs >= int(wire.ProtoV2) {
+		return wire.ProtoV2
+	}
+	return wire.ProtoV1
 }
 
 // checkHello validates the peer's identity and schema.
@@ -317,7 +348,7 @@ func (f *Fed) checkHello(h wire.Request) error {
 // HandlePeer implements wire.Overlay: it owns an accepted peer connection
 // whose first frame was hello. It replies, attaches the link (replaying
 // routes toward the peer) and runs the link until the connection drops.
-func (f *Fed) HandlePeer(conn net.Conn, rd *bufio.Scanner, hello wire.Request) {
+func (f *Fed) HandlePeer(conn net.Conn, rd *bufio.Reader, hello wire.Request) {
 	if err := f.checkHello(hello); err != nil {
 		if b, encErr := wire.EncodeLine(wire.Response{Type: wire.MsgError, Op: wire.OpHello, Error: err.Error()}); encErr == nil {
 			_, _ = conn.Write(b)
@@ -327,7 +358,14 @@ func (f *Fed) HandlePeer(conn net.Conn, rd *bufio.Scanner, hello wire.Request) {
 	}
 	l := f.newLink(conn)
 	l.name = hello.Node
-	if err := f.writeFrame(conn, wire.Request{Op: wire.OpHello, Node: f.name, Schema: f.sch.String()}); err != nil {
+	l.proto = negotiated(f.maxProto, hello.Proto)
+	reply := wire.Request{Op: wire.OpHello, Node: f.name, Schema: f.sch.String()}
+	if l.proto >= wire.ProtoV2 {
+		// Confirm the upgrade only to a peer that asked for it; a pre-v2
+		// dialer gets the hello it has always gotten.
+		reply.Proto = int(l.proto)
+	}
+	if err := f.writeFrame(conn, reply); err != nil {
 		f.log.Printf("federation: hello reply to %s: %v", hello.Node, err)
 		return
 	}
@@ -411,9 +449,20 @@ func (f *Fed) attach(l *peerLink) error {
 
 // runLink consumes peer frames until the connection drops, then tears the
 // link down (withdrawing its routes from the remaining links).
-func (f *Fed) runLink(l *peerLink, sc *bufio.Scanner) {
-	for sc.Scan() {
-		line := sc.Bytes()
+func (f *Fed) runLink(l *peerLink, rd *bufio.Reader) {
+	if l.proto >= wire.ProtoV2 {
+		f.runLinkV2(l, rd)
+		return
+	}
+	for {
+		line, err := wire.ReadLine(rd)
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			f.dropLink(l, err)
+			return
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -424,7 +473,83 @@ func (f *Fed) runLink(l *peerLink, sc *bufio.Scanner) {
 		}
 		f.handleFrame(l, req)
 	}
-	f.dropLink(l, sc.Err())
+}
+
+// runLinkV2 consumes binary peer frames. The frame buffer and the forward
+// scratch vector are reused across frames — an inbound forward is decoded,
+// matched locally and re-forwarded without allocating on the miss path.
+// Framing errors (truncation, oversized prefix, unknown type) tear the link
+// down: once the stream position is lost, every later byte is garbage.
+func (f *Fed) runLinkV2(l *peerLink, rd *bufio.Reader) {
+	var (
+		buf     []byte
+		scratch = make([]float64, 0, f.sch.N())
+	)
+	for {
+		typ, payload, err := wire.ReadFrame(rd, &buf)
+		if err != nil {
+			if err == io.EOF {
+				err = nil
+			}
+			f.dropLink(l, err)
+			return
+		}
+		switch typ {
+		case wire.FrameForward:
+			vals, err := wire.DecodeForwardFrame(payload, scratch)
+			if cap(vals) > cap(scratch) {
+				scratch = vals
+			}
+			if err != nil {
+				f.dropLink(l, err)
+				return
+			}
+			f.handleForwardVals(l, vals)
+		case wire.FrameRouteAdd:
+			id, profile, priority, err := wire.DecodeRouteAddFrame(payload)
+			if err != nil {
+				f.dropLink(l, err)
+				return
+			}
+			p, err := predicate.Parse(f.sch, predicate.ID(id), profile)
+			if err != nil {
+				f.log.Printf("federation: route_add %q from %s: %v", id, l.name, err)
+				continue
+			}
+			p.Priority = priority
+			f.addRoute(l, p)
+		case wire.FrameRouteWithdraw:
+			id, err := wire.DecodeRouteWithdrawFrame(payload)
+			if err != nil {
+				f.dropLink(l, err)
+				return
+			}
+			f.removeRoute(l, predicate.ID(id))
+		default:
+			f.dropLink(l, fmt.Errorf("%w: unexpected frame type 0x%02x", wire.ErrBadFrame, typ))
+			return
+		}
+	}
+}
+
+// handleForwardVals delivers one inbound v2 forward locally (zero-copy: the
+// broker copies the vector only on match) and re-forwards it over matching
+// links. Domain validation mirrors the v1 path's event.FromMap strictness.
+func (f *Fed) handleForwardVals(l *peerLink, vals []float64) {
+	if len(vals) != f.sch.N() {
+		f.log.Printf("federation: forward from %s: %d values for %d attributes", l.name, len(vals), f.sch.N())
+		return
+	}
+	for i, v := range vals {
+		if err := f.sch.Validate(i, v); err != nil {
+			f.log.Printf("federation: forward from %s: %v", l.name, err)
+			return
+		}
+	}
+	if _, err := f.brk.PublishValues(vals); err != nil && !errors.Is(err, broker.ErrClosed) {
+		f.log.Printf("federation: local delivery of forward from %s: %v", l.name, err)
+	}
+	f.forward(vals, l)
 }
 
 // handleFrame processes one peer frame.
@@ -449,7 +574,7 @@ func (f *Fed) handleFrame(l *peerLink, req wire.Request) {
 		if _, err := f.brk.Publish(ev); err != nil && !errors.Is(err, broker.ErrClosed) {
 			f.log.Printf("federation: local delivery of forward from %s: %v", l.name, err)
 		}
-		f.forward(ev, l)
+		f.forward(ev.Vals, l)
 	default:
 		f.log.Printf("federation: unexpected op %q on peer link %s", req.Op, l.name)
 	}
@@ -573,15 +698,20 @@ func (f *Fed) ProfileRemoved(id predicate.ID) {
 }
 
 // EventPublished implements wire.Overlay: offer a locally published event to
-// every link whose routing filter matches it.
-func (f *Fed) EventPublished(ev event.Event) { f.forward(ev, nil) }
+// every link whose routing filter matches it. The vector is read only
+// during the call (matching plus synchronous encode), never retained — the
+// server's zero-copy v2 publish path hands it a reused scratch slice.
+func (f *Fed) EventPublished(ev event.Event) { f.forward(ev.Vals, nil) }
 
-// forward sends ev over every link (except the one it arrived on) whose
-// filter engine matches it; rejected crossings count as filtered. Matching
-// runs outside f.mu against an engine snapshot, exactly like the in-process
-// overlay's deliver. The whole path takes only the read lock — concurrent
-// publishers of a federated broker never serialize on the overlay state.
-func (f *Fed) forward(ev event.Event, from *peerLink) {
+// forward sends an event vector over every link (except the one it arrived
+// on) whose filter engine matches it; rejected crossings count as filtered.
+// Matching runs outside f.mu against an engine snapshot, exactly like the
+// in-process overlay's deliver. The whole path takes only the read lock —
+// concurrent publishers of a federated broker never serialize on the
+// overlay state. Each wire encoding is produced at most once per event
+// (one binary frame for the v2 links, one JSON line for the v1 links) and
+// fanned out to every matching link of that generation.
+func (f *Fed) forward(vals []float64, from *peerLink) {
 	f.mu.RLock()
 	type hop struct {
 		l   *peerLink
@@ -598,14 +728,13 @@ func (f *Fed) forward(ev event.Event, from *peerLink) {
 		return
 	}
 
-	var frame wire.Request
 	var targets []*peerLink
 	for _, h := range hops {
 		if h.eng.ProfileCount() == 0 {
 			f.filtered.Add(1)
 			continue
 		}
-		ids, _, err := h.eng.Match(ev.Vals)
+		ids, _, err := h.eng.Match(vals)
 		if err != nil {
 			f.log.Printf("federation: link %s match: %v", h.l.name, err)
 			continue
@@ -615,22 +744,32 @@ func (f *Fed) forward(ev event.Event, from *peerLink) {
 			f.filtered.Add(1)
 			continue
 		}
-		if frame.Op == "" {
-			payload := make(map[string]float64, f.sch.N())
-			for i, v := range ev.Vals {
-				payload[f.sch.At(i).Name] = v
-			}
-			frame = wire.Request{Op: wire.OpForward, Event: payload}
-		}
 		targets = append(targets, h.l)
 	}
 	if len(targets) == 0 {
 		return
 	}
-	encoded, err := wire.EncodeLine(frame)
-	if err != nil {
-		f.log.Printf("federation: encode forward frame: %v", err)
-		return
+	// Encode once per protocol generation present among the targets.
+	var lineEnc, frameEnc []byte
+	for _, l := range targets {
+		if l.proto >= wire.ProtoV2 {
+			if frameEnc == nil {
+				frameEnc = wire.AppendForwardFrame(nil, vals)
+			}
+			continue
+		}
+		if lineEnc == nil {
+			payload := make(map[string]float64, f.sch.N())
+			for i, v := range vals {
+				payload[f.sch.At(i).Name] = v
+			}
+			enc, err := wire.EncodeLine(wire.Request{Op: wire.OpForward, Event: payload})
+			if err != nil {
+				f.log.Printf("federation: encode forward frame: %v", err)
+				return
+			}
+			lineEnc = enc
+		}
 	}
 	// Enqueue under the read lock: channel sends are concurrency-safe, and
 	// closeOut only runs under the write lock, so a link found live here
@@ -641,7 +780,11 @@ func (f *Fed) forward(ev event.Event, from *peerLink) {
 		if _, live := f.peers[l]; !live {
 			continue
 		}
-		if f.enqueueBytesLocked(l, encoded) {
+		enc := lineEnc
+		if l.proto >= wire.ProtoV2 {
+			enc = frameEnc
+		}
+		if f.enqueueBytesLocked(l, enc) {
 			f.forwarded.Add(1)
 		}
 	}
@@ -709,13 +852,22 @@ func (f *Fed) enqueueBytesLocked(l *peerLink, b []byte) bool {
 	}
 }
 
-// sendRouteAdd/sendRouteWithdraw announce route changes; failures surface
-// through the link's teardown/replay cycle. Caller holds Fed.mu.
+// sendRouteAdd/sendRouteWithdraw announce route changes on the link's
+// negotiated encoding; failures surface through the link's teardown/replay
+// cycle. Caller holds Fed.mu.
 func (f *Fed) sendRouteAdd(l *peerLink, p *predicate.Profile) {
+	if l.proto >= wire.ProtoV2 {
+		f.enqueueBytesLocked(l, wire.AppendRouteAddFrame(nil, string(p.ID), p.Render(f.sch), p.Priority))
+		return
+	}
 	f.enqueueLocked(l, wire.Request{Op: wire.OpRouteAdd, ID: string(p.ID), Profile: p.Render(f.sch), Priority: p.Priority})
 }
 
 func (f *Fed) sendRouteWithdraw(l *peerLink, id predicate.ID) {
+	if l.proto >= wire.ProtoV2 {
+		f.enqueueBytesLocked(l, wire.AppendRouteWithdrawFrame(nil, string(id)))
+		return
+	}
 	f.enqueueLocked(l, wire.Request{Op: wire.OpRouteWithdraw, ID: string(id)})
 }
 
@@ -725,6 +877,20 @@ func (f *Fed) Stats() (node string, peers int, forwarded, filtered uint64) {
 	n := len(f.peers)
 	f.mu.RUnlock()
 	return f.name, n, f.forwarded.Load(), f.filtered.Load()
+}
+
+// ProtoV2Peers implements wire.Overlay: the number of live links speaking
+// binary frames.
+func (f *Fed) ProtoV2Peers() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := 0
+	for l := range f.peers {
+		if l.proto >= wire.ProtoV2 {
+			n++
+		}
+	}
+	return n
 }
 
 // RouteCount returns the number of uncovered routes on the link to the named

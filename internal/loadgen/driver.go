@@ -58,7 +58,7 @@ func OpenDriver(sc Scenario, sch *schema.Schema) (Driver, error) {
 	case "service":
 		return newServiceDriver(sc, sch)
 	case "wire":
-		return newWireDriver(sch)
+		return newWireDriver(sc, sch)
 	case "federation":
 		return newFedDriver(sc, sch)
 	default:

@@ -37,6 +37,7 @@ type fedNode struct {
 type fedDriver struct {
 	nodes []*fedNode
 	sch   *schema.Schema
+	proto wire.Proto // per-link protocol pin (ProtoAuto negotiates v2)
 
 	mu       sync.Mutex
 	subs     map[predicate.ID]*broker.Subscription
@@ -58,7 +59,7 @@ func newFedDriver(sc Scenario, sch *schema.Schema) (*fedDriver, error) {
 	if hops+1 > maxFedNodes {
 		return nil, fmt.Errorf("%w: %d hops (max %d)", ErrBadScenario, hops, maxFedNodes-1)
 	}
-	d := &fedDriver{sch: sch, subs: make(map[predicate.ID]*broker.Subscription)}
+	d := &fedDriver{sch: sch, proto: sc.wireProto(), subs: make(map[predicate.ID]*broker.Subscription)}
 	for i := 0; i <= hops; i++ {
 		node, err := d.bootNode(fmt.Sprintf("n%d", i))
 		if err != nil {
@@ -84,12 +85,15 @@ func (d *fedDriver) bootNode(name string) (*fedNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	fed, err := federation.New(brk, federation.Options{Node: name, Covering: true})
+	fed, err := federation.New(brk, federation.Options{Node: name, Covering: true, Proto: d.proto})
 	if err != nil {
 		brk.Close()
 		return nil, err
 	}
 	srv := wire.NewServer(brk, nil)
+	if d.proto == wire.ProtoV1 {
+		srv.SetMaxProto(wire.ProtoV1)
+	}
 	srv.SetOverlay(fed)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

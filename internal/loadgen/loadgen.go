@@ -99,6 +99,10 @@ type Scenario struct {
 	Adaptive bool `json:"adaptive,omitempty"`
 	// Hops is the federation chain's link count (default 3: four daemons).
 	Hops int `json:"hops,omitempty"`
+	// Proto pins the wire protocol of the wire and federation drivers: "v1"
+	// (JSON lines), "v2" (binary frames) or "" (negotiate, which lands on v2
+	// in-process). Other drivers ignore it.
+	Proto string `json:"proto,omitempty"`
 }
 
 // CorrelatedSpec declares a mixture of product distributions: component k
@@ -209,6 +213,9 @@ func (sc *Scenario) compile() (*compiled, error) {
 	}
 	if sc.Batch < 0 {
 		return nil, fmt.Errorf("%w %s: negative batch", ErrBadScenario, sc.Name)
+	}
+	if sc.Proto != "" && sc.Proto != "v1" && sc.Proto != "v2" {
+		return nil, fmt.Errorf("%w %s: proto %q (want v1, v2 or empty)", ErrBadScenario, sc.Name, sc.Proto)
 	}
 	sch, err := schema.ParseSpec(sc.Schema)
 	if err != nil {

@@ -94,8 +94,10 @@ var scenarios = map[string]Scenario{
 	},
 
 	// wire-roundtrip: the same dense workload as uniform-dense but spoken
-	// over loopback TCP through the wire client — JSON framing, socket and
-	// demultiplexer included in every latency sample.
+	// over loopback TCP through the wire client — framing, socket and
+	// demultiplexer included in every latency sample. Pinned to the v1
+	// JSON-line protocol; wire-roundtrip-v2 is the identical workload over
+	// binary v2 frames, so the pair is a direct codec comparison.
 	"wire-roundtrip": {
 		Name:   "wire-roundtrip",
 		Driver: "wire",
@@ -103,6 +105,21 @@ var scenarios = map[string]Scenario{
 		Seed:   6,
 		Events: 4000, Profiles: 500,
 		Batch: 32,
+		Proto: "v1",
+	},
+
+	// wire-roundtrip-v2: wire-roundtrip's workload, byte for byte, over the
+	// negotiated binary protocol with pipelined batches. Match totals must
+	// equal wire-roundtrip's (same seed, same plan); only the wire cost may
+	// differ.
+	"wire-roundtrip-v2": {
+		Name:   "wire-roundtrip-v2",
+		Driver: "wire",
+		Schema: stdSchema,
+		Seed:   6,
+		Events: 4000, Profiles: 500,
+		Batch: 32,
+		Proto: "v2",
 	},
 
 	// aggregated-mega: canonical aggregation's home turf — 10⁵ subscriptions
@@ -137,15 +154,33 @@ var scenarios = map[string]Scenario{
 		EventShapes:   map[string]string{"temperature": "d3", "humidity": "d21"},
 		ProfileShapes: map[string]string{"temperature": "d14"},
 		Hops:          3,
+		Proto:         "v1",
+	},
+
+	// federated-3hop-v2: the same chain with every link negotiated up to
+	// binary v2 frames — forwarded events cross each hop as slot vectors
+	// instead of JSON lines. Delivery totals must match federated-3hop's.
+	"federated-3hop-v2": {
+		Name:   "federated-3hop-v2",
+		Driver: "federation",
+		Schema: stdSchema,
+		Seed:   7,
+		Events: 3000, Profiles: 300,
+		EventShapes:   map[string]string{"temperature": "d3", "humidity": "d21"},
+		ProfileShapes: map[string]string{"temperature": "d14"},
+		Hops:          3,
+		Proto:         "v2",
 	},
 }
 
 // suites maps suite name → member scenarios. smoke is the CI gate's suite:
 // every driver class represented, sized to finish in seconds on one core.
 var suites = map[string][]string{
-	"smoke": {"uniform-dense", "zipf-hot", "correlated-storm", "churn-heavy", "aggregated-mega", "federated-3hop"},
+	"smoke": {"uniform-dense", "zipf-hot", "correlated-storm", "churn-heavy", "aggregated-mega",
+		"wire-roundtrip", "wire-roundtrip-v2", "federated-3hop", "federated-3hop-v2"},
 	"full": {"uniform-dense", "zipf-hot", "correlated-storm", "churn-heavy",
-		"adaptive-drift", "wire-roundtrip", "aggregated-mega", "federated-3hop"},
+		"adaptive-drift", "wire-roundtrip", "wire-roundtrip-v2", "aggregated-mega",
+		"federated-3hop", "federated-3hop-v2"},
 }
 
 // smokeScale shrinks full-size scenarios to CI smoke size.

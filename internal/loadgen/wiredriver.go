@@ -29,12 +29,26 @@ type wireDriver struct {
 	serveDone chan struct{}
 }
 
-func newWireDriver(sch *schema.Schema) (*wireDriver, error) {
+// wireProto resolves the scenario's protocol pin for the wire-level drivers.
+func (sc Scenario) wireProto() wire.Proto {
+	switch sc.Proto {
+	case "v1":
+		return wire.ProtoV1
+	case "v2":
+		return wire.ProtoV2
+	}
+	return wire.ProtoAuto
+}
+
+func newWireDriver(sc Scenario, sch *schema.Schema) (*wireDriver, error) {
 	brk, err := broker.New(sch, broker.Options{})
 	if err != nil {
 		return nil, err
 	}
 	srv := wire.NewServer(brk, nil)
+	if sc.wireProto() == wire.ProtoV1 {
+		srv.SetMaxProto(wire.ProtoV1)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		brk.Close()
@@ -49,7 +63,10 @@ func newWireDriver(sch *schema.Schema) (*wireDriver, error) {
 		defer close(d.serveDone)
 		_ = srv.Serve(context.Background(), ln)
 	}()
-	client, err := wire.Dial(ln.Addr().String(), wireTimeout)
+	client, err := wire.DialWith(ln.Addr().String(), wire.DialConfig{
+		Timeout: wireTimeout,
+		Proto:   sc.wireProto(),
+	})
 	if err != nil {
 		srv.Close()
 		<-d.serveDone
@@ -87,10 +104,23 @@ func (d *wireDriver) payload(vals []float64) map[string]float64 {
 }
 
 func (d *wireDriver) Publish(vals []float64) (int, error) {
-	return d.client.Publish(d.payload(vals), wireTimeout)
+	// PublishVals is the per-protocol hot path: one small binary frame on a
+	// v2 connection, the name→value map (part of v1's measured cost) on v1.
+	return d.client.PublishVals(vals, wireTimeout)
 }
 
 func (d *wireDriver) PublishBatch(batch [][]float64) (int, error) {
+	if d.client.Proto() >= wire.ProtoV2 {
+		counts, err := d.client.PublishValsBatch(batch, wireTimeout)
+		if err != nil {
+			return 0, err
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total, nil
+	}
 	evs := make([]map[string]float64, len(batch))
 	for i, vals := range batch {
 		evs[i] = d.payload(vals)

@@ -1,0 +1,628 @@
+// Wire protocol v2: length-prefixed binary frames.
+//
+// A v2 frame is [u32 length][u8 type][payload], big-endian, where length
+// counts the type byte plus the payload and is capped at MaxFrame. Events
+// travel as fixed-width vectors of attribute values in schema slot order —
+// no attribute names on the wire — so one publish frame is a handful of
+// bytes instead of a JSON object, and decoding is a bounds check plus eight
+// byte loads per attribute into a reusable scratch slice.
+//
+// Only the hot paths have binary payloads: publish, publish_batch, their
+// acknowledgements, notifications and the three peer frames. Cold control
+// operations (subscribe, stats, schema, …) ride inside control frames that
+// carry the v1 JSON encoding verbatim, so the two codecs can never drift on
+// the long tail of the protocol.
+//
+// Client request and response frames start with a u32 correlation id: a v2
+// connection may have many requests in flight (pipelining), and the id pairs
+// each response with its request. Notifications and peer frames carry no id
+// — they are not responses.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxFrame caps one v2 frame (and one v1 line): length prefixes beyond it
+// are rejected with ErrFrameTooBig before any allocation happens.
+const MaxFrame = 1 << 20
+
+// Sentinel errors of the v2 framing layer.
+var (
+	// ErrFrameTooBig reports a length prefix (or v1 line) over MaxFrame.
+	ErrFrameTooBig = errors.New("wire: frame exceeds the size cap")
+	// ErrFrameTruncated reports a connection that closed mid-frame: inside
+	// the length prefix or before the announced payload arrived.
+	ErrFrameTruncated = errors.New("wire: truncated frame")
+	// ErrBadFrame reports a structurally invalid frame: zero length, an
+	// unknown type byte, or a payload that does not parse.
+	ErrBadFrame = errors.New("wire: malformed frame")
+)
+
+// Frame type bytes. Client requests are 0x0_, server responses 0x4_, peer
+// frames 0x8_. Only the peer frames are exported: internal/federation
+// encodes and decodes them directly, everything else stays inside this
+// package.
+const (
+	framePublish      byte = 0x01 // cid, vector
+	framePublishBatch byte = 0x02 // cid, u32 count, count vectors
+	frameControl      byte = 0x03 // cid, v1 JSON request
+
+	frameOK        byte = 0x41 // cid, u32 matched
+	frameOKBatch   byte = 0x42 // cid, u32 count, count u32 matches
+	frameErr       byte = 0x43 // cid, str op, str message
+	frameNotify    byte = 0x44 // str profile, u64 seq, vector
+	frameControlRe byte = 0x45 // cid, v1 JSON response
+
+	// FrameForward carries one event (vector payload) across a peer link.
+	FrameForward byte = 0x81
+	// FrameRouteAdd announces a route: str id, str profile, f64 priority.
+	FrameRouteAdd byte = 0x82
+	// FrameRouteWithdraw retracts a route: str id.
+	FrameRouteWithdraw byte = 0x83
+)
+
+// ReadFrame reads one v2 frame, reusing *buf as the payload buffer (grown as
+// needed and retained across calls — the pooled read path). The returned
+// payload aliases *buf and is valid until the next call. A clean EOF at a
+// frame boundary returns io.EOF; EOF inside a frame returns
+// ErrFrameTruncated; an oversized or zero length prefix returns
+// ErrFrameTooBig / ErrBadFrame without consuming the payload.
+func ReadFrame(rd *bufio.Reader, buf *[]byte) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: connection closed inside the length prefix", ErrFrameTruncated)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes (cap %d)", ErrFrameTooBig, n, MaxFrame)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+	if _, err := io.ReadFull(rd, *buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: connection closed inside a %d-byte frame", ErrFrameTruncated, n)
+	}
+	return (*buf)[0], (*buf)[1:], nil
+}
+
+// ReadLine reads one v1 JSON line (without its terminator, tolerating CRLF),
+// accumulating across the reader's buffer up to MaxFrame. It replaces
+// bufio.Scanner so the same *bufio.Reader can switch to binary frames after
+// a negotiated upgrade without losing buffered bytes. A final unterminated
+// line is returned before io.EOF, matching Scanner semantics.
+func ReadLine(rd *bufio.Reader) ([]byte, error) {
+	line, err := rd.ReadSlice('\n')
+	if err == nil {
+		return trimEOL(line), nil
+	}
+	if err == io.EOF {
+		if len(line) > 0 {
+			return trimEOL(line), nil
+		}
+		return nil, io.EOF
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	// The line spans the reader's buffer: accumulate into an owned slice.
+	buf := append([]byte(nil), line...)
+	for {
+		line, err = rd.ReadSlice('\n')
+		buf = append(buf, line...)
+		switch err {
+		case nil, io.EOF:
+			if err == io.EOF && len(buf) == 0 {
+				return nil, io.EOF
+			}
+			out := trimEOL(buf)
+			if len(out) > MaxFrame {
+				return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrFrameTooBig, MaxFrame)
+			}
+			return out, nil
+		case bufio.ErrBufferFull:
+			if len(buf) > MaxFrame {
+				return nil, fmt.Errorf("%w: line exceeds %d bytes", ErrFrameTooBig, MaxFrame)
+			}
+			continue
+		default:
+			return nil, err
+		}
+	}
+}
+
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// slots maps attribute names to vector positions — the schema knowledge the
+// two ends of a v2 connection share after the hello exchange.
+type slots struct {
+	names []string
+	index map[string]int
+}
+
+func newSlots(names []string) *slots {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return &slots{names: names, index: idx}
+}
+
+// vectorOf converts an attribute map to a slot vector. It fails (second
+// return false) unless the map names exactly the schema's attributes — a
+// partial event relies on server-side defaults and must travel as JSON.
+func (s *slots) vectorOf(m map[string]float64) ([]float64, bool) {
+	if len(m) != len(s.names) {
+		return nil, false
+	}
+	vec := make([]float64, len(s.names))
+	for name, v := range m {
+		i, ok := s.index[name]
+		if !ok {
+			return nil, false
+		}
+		vec[i] = v
+	}
+	return vec, true
+}
+
+// mapOf is vectorOf's inverse.
+func (s *slots) mapOf(vec []float64) map[string]float64 {
+	m := make(map[string]float64, len(vec))
+	for i, v := range vec {
+		m[s.names[i]] = v
+	}
+	return m
+}
+
+// --- primitive appends -------------------------------------------------
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func appendVec(dst []byte, vals []float64) []byte {
+	dst = appendU32(dst, uint32(len(vals)))
+	for _, v := range vals {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// beginFrame reserves the length prefix and writes the type byte; the
+// returned mark feeds finishFrame, which backfills the length.
+func beginFrame(dst []byte, typ byte) ([]byte, int) {
+	mark := len(dst)
+	return append(dst, 0, 0, 0, 0, typ), mark
+}
+
+func finishFrame(dst []byte, mark int) []byte {
+	binary.BigEndian.PutUint32(dst[mark:mark+4], uint32(len(dst)-mark-4))
+	return dst
+}
+
+// --- cursor decode -----------------------------------------------------
+
+// cur walks a frame payload with a sticky out-of-bounds flag, so decoders
+// read field by field and check validity once at the end.
+type cur struct {
+	b   []byte
+	bad bool
+}
+
+func (c *cur) take(n int) []byte {
+	if c.bad || len(c.b) < n {
+		c.bad = true
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cur) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *cur) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *cur) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cur) str() string {
+	n := c.u32()
+	if c.bad || uint64(n) > uint64(len(c.b)) {
+		c.bad = true
+		return ""
+	}
+	return string(c.take(int(n)))
+}
+
+// vec decodes a vector into dst (appending — pass a reused scratch slice
+// truncated to zero length for the pooled decode path).
+func (c *cur) vec(dst []float64) []float64 {
+	n := c.u32()
+	if c.bad || uint64(n)*8 > uint64(len(c.b)) {
+		c.bad = true
+		return dst
+	}
+	for i := 0; i < int(n); i++ {
+		dst = append(dst, c.f64())
+	}
+	return dst
+}
+
+// done validates that the payload parsed cleanly and completely.
+func (c *cur) done() error {
+	if c.bad || len(c.b) != 0 {
+		return fmt.Errorf("%w: bad payload", ErrBadFrame)
+	}
+	return nil
+}
+
+// --- hot-path frame builders and decoders ------------------------------
+
+func appendPublishFrame(dst []byte, cid uint32, vals []float64) []byte {
+	dst, mark := beginFrame(dst, framePublish)
+	dst = appendU32(dst, cid)
+	dst = appendVec(dst, vals)
+	return finishFrame(dst, mark)
+}
+
+func decodePublishFrame(payload []byte, scratch []float64) (cid uint32, vals []float64, err error) {
+	c := cur{b: payload}
+	cid = c.u32()
+	vals = c.vec(scratch[:0])
+	return cid, vals, c.done()
+}
+
+func appendPublishBatchFrame(dst []byte, cid uint32, batch [][]float64) []byte {
+	dst, mark := beginFrame(dst, framePublishBatch)
+	dst = appendU32(dst, cid)
+	dst = appendU32(dst, uint32(len(batch)))
+	for _, vals := range batch {
+		dst = appendVec(dst, vals)
+	}
+	return finishFrame(dst, mark)
+}
+
+func appendNotifyFrame(dst []byte, profile string, seq uint64, vals []float64) []byte {
+	dst, mark := beginFrame(dst, frameNotify)
+	dst = appendStr(dst, profile)
+	dst = appendU64(dst, seq)
+	dst = appendVec(dst, vals)
+	return finishFrame(dst, mark)
+}
+
+func decodeNotifyFrame(payload []byte) (profile string, seq uint64, vals []float64, err error) {
+	c := cur{b: payload}
+	profile = c.str()
+	seq = c.u64()
+	vals = c.vec(nil)
+	return profile, seq, vals, c.done()
+}
+
+func appendOKFrame(dst []byte, cid uint32, matched int) []byte {
+	dst, mark := beginFrame(dst, frameOK)
+	dst = appendU32(dst, cid)
+	dst = appendU32(dst, uint32(matched))
+	return finishFrame(dst, mark)
+}
+
+func appendOKBatchFrame(dst []byte, cid uint32, counts []int) []byte {
+	dst, mark := beginFrame(dst, frameOKBatch)
+	dst = appendU32(dst, cid)
+	dst = appendU32(dst, uint32(len(counts)))
+	for _, n := range counts {
+		dst = appendU32(dst, uint32(n))
+	}
+	return finishFrame(dst, mark)
+}
+
+func appendErrFrame(dst []byte, cid uint32, op Op, msg string) []byte {
+	dst, mark := beginFrame(dst, frameErr)
+	dst = appendU32(dst, cid)
+	dst = appendStr(dst, string(op))
+	dst = appendStr(dst, msg)
+	return finishFrame(dst, mark)
+}
+
+// appendControlFrame wraps a v1 JSON encoding (request or response — typ
+// picks frameControl or frameControlRe) in a v2 frame.
+func appendControlFrame(dst []byte, typ byte, cid uint32, js []byte) []byte {
+	dst, mark := beginFrame(dst, typ)
+	dst = appendU32(dst, cid)
+	dst = append(dst, js...)
+	return finishFrame(dst, mark)
+}
+
+// --- peer frames (used by internal/federation) -------------------------
+
+// AppendForwardFrame encodes one event crossing a peer link.
+func AppendForwardFrame(dst []byte, vals []float64) []byte {
+	dst, mark := beginFrame(dst, FrameForward)
+	dst = appendVec(dst, vals)
+	return finishFrame(dst, mark)
+}
+
+// DecodeForwardFrame decodes a forward payload into scratch (appending
+// after truncation to zero, so the caller's slice is reused).
+func DecodeForwardFrame(payload []byte, scratch []float64) ([]float64, error) {
+	c := cur{b: payload}
+	vals := c.vec(scratch[:0])
+	return vals, c.done()
+}
+
+// AppendRouteAddFrame encodes a route announcement.
+func AppendRouteAddFrame(dst []byte, id, profile string, priority float64) []byte {
+	dst, mark := beginFrame(dst, FrameRouteAdd)
+	dst = appendStr(dst, id)
+	dst = appendStr(dst, profile)
+	dst = appendF64(dst, priority)
+	return finishFrame(dst, mark)
+}
+
+// DecodeRouteAddFrame decodes a route announcement payload.
+func DecodeRouteAddFrame(payload []byte) (id, profile string, priority float64, err error) {
+	c := cur{b: payload}
+	id = c.str()
+	profile = c.str()
+	priority = c.f64()
+	return id, profile, priority, c.done()
+}
+
+// AppendRouteWithdrawFrame encodes a route withdrawal.
+func AppendRouteWithdrawFrame(dst []byte, id string) []byte {
+	dst, mark := beginFrame(dst, FrameRouteWithdraw)
+	dst = appendStr(dst, id)
+	return finishFrame(dst, mark)
+}
+
+// DecodeRouteWithdrawFrame decodes a route withdrawal payload.
+func DecodeRouteWithdrawFrame(payload []byte) (string, error) {
+	c := cur{b: payload}
+	id := c.str()
+	return id, c.done()
+}
+
+// --- generic Request/Response <-> frame conversion ---------------------
+//
+// The generic converters give every v1 message a v2 encoding (hot shapes
+// binary, the rest as control frames) and back. The hot paths above bypass
+// them; they exist for the cold client operations and as the codec oracle
+// the cross-codec property tests and the fuzz targets pin.
+
+// appendRequestFrame encodes any request as one v2 frame. Events whose maps
+// do not cover the schema exactly (server-side defaults) fall back to a
+// control frame, preserving v1 semantics bit for bit.
+func appendRequestFrame(dst []byte, cid uint32, req Request, sl *slots) ([]byte, error) {
+	switch req.Op {
+	case OpPublish:
+		if vec, ok := sl.vectorOf(req.Event); ok {
+			return appendPublishFrame(dst, cid, vec), nil
+		}
+	case OpPublishBatch:
+		batch := make([][]float64, len(req.Events))
+		ok := len(req.Events) > 0
+		for i, ev := range req.Events {
+			if batch[i], ok = sl.vectorOf(ev); !ok {
+				break
+			}
+		}
+		if ok {
+			return appendPublishBatchFrame(dst, cid, batch), nil
+		}
+	case OpForward:
+		if vec, ok := sl.vectorOf(req.Event); ok {
+			return AppendForwardFrame(dst, vec), nil
+		}
+	case OpRouteAdd:
+		return AppendRouteAddFrame(dst, req.ID, req.Profile, req.Priority), nil
+	case OpRouteWithdraw:
+		return AppendRouteWithdrawFrame(dst, req.ID), nil
+	}
+	js, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return appendControlFrame(dst, frameControl, cid, js), nil
+}
+
+// decodeRequestFrame is appendRequestFrame's inverse. Peer frames decode
+// with cid 0 (they carry none).
+func decodeRequestFrame(typ byte, payload []byte, sl *slots) (uint32, Request, error) {
+	switch typ {
+	case framePublish:
+		cid, vals, err := decodePublishFrame(payload, nil)
+		if err != nil {
+			return 0, Request{}, err
+		}
+		if len(vals) != len(sl.names) {
+			return 0, Request{}, fmt.Errorf("%w: %d values for %d attributes", ErrBadFrame, len(vals), len(sl.names))
+		}
+		return cid, Request{Op: OpPublish, Event: sl.mapOf(vals)}, nil
+	case framePublishBatch:
+		c := cur{b: payload}
+		cid := c.u32()
+		n := c.u32()
+		if c.bad || uint64(n) > uint64(len(c.b)) { // each event costs ≥ 4 bytes
+			return 0, Request{}, fmt.Errorf("%w: bad batch count", ErrBadFrame)
+		}
+		events := make([]map[string]float64, 0, n)
+		var scratch []float64
+		for i := uint32(0); i < n; i++ {
+			scratch = c.vec(scratch[:0])
+			if c.bad || len(scratch) != len(sl.names) {
+				return 0, Request{}, fmt.Errorf("%w: bad batch vector", ErrBadFrame)
+			}
+			events = append(events, sl.mapOf(scratch))
+		}
+		if err := c.done(); err != nil {
+			return 0, Request{}, err
+		}
+		return cid, Request{Op: OpPublishBatch, Events: events}, nil
+	case frameControl:
+		c := cur{b: payload}
+		cid := c.u32()
+		if c.bad {
+			return 0, Request{}, fmt.Errorf("%w: short control frame", ErrBadFrame)
+		}
+		req, err := DecodeRequest(c.b)
+		if err != nil {
+			return 0, Request{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		return cid, req, nil
+	case FrameForward:
+		vals, err := DecodeForwardFrame(payload, nil)
+		if err != nil {
+			return 0, Request{}, err
+		}
+		if len(vals) != len(sl.names) {
+			return 0, Request{}, fmt.Errorf("%w: %d values for %d attributes", ErrBadFrame, len(vals), len(sl.names))
+		}
+		return 0, Request{Op: OpForward, Event: sl.mapOf(vals)}, nil
+	case FrameRouteAdd:
+		id, profile, priority, err := DecodeRouteAddFrame(payload)
+		if err != nil {
+			return 0, Request{}, err
+		}
+		return 0, Request{Op: OpRouteAdd, ID: id, Profile: profile, Priority: priority}, nil
+	case FrameRouteWithdraw:
+		id, err := DecodeRouteWithdrawFrame(payload)
+		if err != nil {
+			return 0, Request{}, err
+		}
+		return 0, Request{Op: OpRouteWithdraw, ID: id}, nil
+	default:
+		return 0, Request{}, fmt.Errorf("%w: unknown request frame type 0x%02x", ErrBadFrame, typ)
+	}
+}
+
+// appendResponseFrame encodes any response as one v2 frame: publish
+// acknowledgements, errors and notifications in binary, the rest as control
+// frames.
+func appendResponseFrame(dst []byte, cid uint32, resp Response, sl *slots) ([]byte, error) {
+	switch {
+	case resp.Type == MsgOK && resp.Op == OpPublish && resp.MatchedEach == nil:
+		return appendOKFrame(dst, cid, resp.Matched), nil
+	case resp.Type == MsgOK && resp.Op == OpPublishBatch && resp.MatchedEach != nil:
+		return appendOKBatchFrame(dst, cid, resp.MatchedEach), nil
+	case resp.Type == MsgError:
+		return appendErrFrame(dst, cid, resp.Op, resp.Error), nil
+	case resp.Type == MsgNotification:
+		if vec, ok := sl.vectorOf(resp.Event); ok {
+			return appendNotifyFrame(dst, resp.Profile, resp.Seq, vec), nil
+		}
+	}
+	js, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	return appendControlFrame(dst, frameControlRe, cid, js), nil
+}
+
+// decodeResponseFrame is appendResponseFrame's inverse.
+func decodeResponseFrame(typ byte, payload []byte, sl *slots) (uint32, Response, error) {
+	switch typ {
+	case frameOK:
+		c := cur{b: payload}
+		cid := c.u32()
+		matched := int(c.u32())
+		if err := c.done(); err != nil {
+			return 0, Response{}, err
+		}
+		return cid, Response{Type: MsgOK, Op: OpPublish, Matched: matched}, nil
+	case frameOKBatch:
+		c := cur{b: payload}
+		cid := c.u32()
+		n := c.u32()
+		if c.bad || uint64(n)*4 > uint64(len(c.b)) {
+			return 0, Response{}, fmt.Errorf("%w: bad batch count", ErrBadFrame)
+		}
+		counts := make([]int, n)
+		total := 0
+		for i := range counts {
+			counts[i] = int(c.u32())
+			total += counts[i]
+		}
+		if err := c.done(); err != nil {
+			return 0, Response{}, err
+		}
+		return cid, Response{Type: MsgOK, Op: OpPublishBatch, Matched: total, MatchedEach: counts}, nil
+	case frameErr:
+		c := cur{b: payload}
+		cid := c.u32()
+		op := Op(c.str())
+		msg := c.str()
+		if err := c.done(); err != nil {
+			return 0, Response{}, err
+		}
+		return cid, Response{Type: MsgError, Op: op, Error: msg}, nil
+	case frameNotify:
+		profile, seq, vals, err := decodeNotifyFrame(payload)
+		if err != nil {
+			return 0, Response{}, err
+		}
+		if len(vals) != len(sl.names) {
+			return 0, Response{}, fmt.Errorf("%w: %d values for %d attributes", ErrBadFrame, len(vals), len(sl.names))
+		}
+		return 0, Response{Type: MsgNotification, Profile: profile, Seq: seq, Event: sl.mapOf(vals)}, nil
+	case frameControlRe:
+		c := cur{b: payload}
+		cid := c.u32()
+		if c.bad {
+			return 0, Response{}, fmt.Errorf("%w: short control frame", ErrBadFrame)
+		}
+		resp, err := DecodeResponse(c.b)
+		if err != nil {
+			return 0, Response{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		return cid, resp, nil
+	default:
+		return 0, Response{}, fmt.Errorf("%w: unknown response frame type 0x%02x", ErrBadFrame, typ)
+	}
+}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"testing"
@@ -54,6 +55,95 @@ func FuzzDecodeRequest(f *testing.F) {
 		b, _ := json.Marshal(again)
 		if !bytes.Equal(a, b) {
 			t.Fatalf("round trip changed the request:\n  first  %s\n  second %s", a, b)
+		}
+	})
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes through the v2 framing layer and both
+// frame decoders. Seeds are the v2 encodings of the v1 fuzz corpus (the
+// cross-codec bridge), plus structural junk. The decoders must never panic,
+// and any frame they accept must survive a re-encode/decode round trip with
+// identical meaning.
+func FuzzDecodeFrame(f *testing.F) {
+	sl := newSlots([]string{"temperature", "humidity"})
+	v1Corpus := []string{
+		`{"op":"ping"}`,
+		`{"op":"subscribe","id":"hot","profile":"profile(temperature >= 35)","priority":2}`,
+		`{"op":"unsubscribe","id":"hot"}`,
+		`{"op":"publish","event":{"temperature":41,"humidity":10}}`,
+		`{"op":"publish","event":{"temperature":41}}`,
+		`{"op":"publish_batch","events":[{"temperature":1,"humidity":2},{"temperature":3,"humidity":4}]}`,
+		`{"op":"quench","attr":"temperature","lo":-30,"hi":0}`,
+		`{"op":"stats"}`,
+		`{"op":"hello","node":"A","schema":"schema(temperature:[-30,50])","proto":2}`,
+		`{"op":"route_add","id":"hot","profile":"profile(temperature >= 35)","priority":1.5}`,
+		`{"op":"route_withdraw","id":"hot"}`,
+		`{"op":"forward","event":{"temperature":41,"humidity":10}}`,
+	}
+	for _, line := range v1Corpus {
+		req, err := DecodeRequest([]byte(line))
+		if err != nil {
+			f.Fatalf("bad corpus line %q: %v", line, err)
+		}
+		enc, err := appendRequestFrame(nil, 9, req, sl)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	// Response-direction seeds and structural junk.
+	f.Add(appendOKFrame(nil, 1, 3))
+	f.Add(appendOKBatchFrame(nil, 2, []int{0, 1, 2}))
+	f.Add(appendErrFrame(nil, 3, OpPublish, "boom"))
+	f.Add(appendNotifyFrame(nil, "hot", 7, []float64{41, 10}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 2, 0x01})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var buf []byte
+		typ, payload, err := ReadFrame(bufio.NewReader(bytes.NewReader(raw)), &buf)
+		if err != nil {
+			return
+		}
+		if cid, req, err := decodeRequestFrame(typ, payload, sl); err == nil {
+			enc, err := appendRequestFrame(nil, cid, req, sl)
+			if err != nil {
+				t.Fatalf("accepted request %+v does not re-encode: %v", req, err)
+			}
+			typ2, payload2, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)), &buf)
+			if err != nil {
+				t.Fatalf("re-encoded request frame does not read: %v", err)
+			}
+			cid2, again, err := decodeRequestFrame(typ2, payload2, sl)
+			if err != nil {
+				t.Fatalf("re-encoded request frame does not decode: %v", err)
+			}
+			a, _ := json.Marshal(req)
+			b, _ := json.Marshal(again)
+			if !bytes.Equal(a, b) || cid2 != cid {
+				t.Fatalf("request round trip drifted (cid %d→%d):\n  first  %s\n  second %s", cid, cid2, a, b)
+			}
+		}
+		if cid, resp, err := decodeResponseFrame(typ, payload, sl); err == nil {
+			enc, err := appendResponseFrame(nil, cid, resp, sl)
+			if err != nil {
+				t.Fatalf("accepted response %+v does not re-encode: %v", resp, err)
+			}
+			typ2, payload2, err := ReadFrame(bufio.NewReader(bytes.NewReader(enc)), &buf)
+			if err != nil {
+				t.Fatalf("re-encoded response frame does not read: %v", err)
+			}
+			cid2, again, err := decodeResponseFrame(typ2, payload2, sl)
+			if err != nil {
+				t.Fatalf("re-encoded response frame does not decode: %v", err)
+			}
+			a, _ := json.Marshal(resp)
+			b, _ := json.Marshal(again)
+			if !bytes.Equal(a, b) || cid2 != cid {
+				t.Fatalf("response round trip drifted (cid %d→%d):\n  first  %s\n  second %s", cid, cid2, a, b)
+			}
 		}
 	})
 }

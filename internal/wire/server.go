@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"genas/internal/broker"
 	"genas/internal/event"
@@ -23,19 +25,23 @@ import (
 type Overlay interface {
 	// HandlePeer owns a connection whose first frame was a hello. It runs the
 	// peer link until the connection drops and must tolerate conn being
-	// closed concurrently by Server.Close. rd is the connection's line
-	// scanner (already past the hello line).
-	HandlePeer(conn net.Conn, rd *bufio.Scanner, hello Request)
+	// closed concurrently by Server.Close. rd is the connection's buffered
+	// reader (already past the hello line).
+	HandlePeer(conn net.Conn, rd *bufio.Reader, hello Request)
 	// ProfileAdded announces a locally subscribed profile to the overlay.
 	ProfileAdded(p *predicate.Profile)
 	// ProfileRemoved withdraws a locally removed profile from the overlay.
 	ProfileRemoved(id predicate.ID)
 	// EventPublished offers a locally published event for forwarding over
-	// matching peer links.
+	// matching peer links. The overlay must not retain ev.Vals after
+	// returning: the zero-copy v2 publish path hands it a reused scratch
+	// slice (encode synchronously, enqueue bytes).
 	EventPublished(ev event.Event)
 	// Stats reports the overlay node name, live peer link count and the
 	// forwarded/early-rejected counters.
 	Stats() (node string, peers int, forwarded, filtered uint64)
+	// ProtoV2Peers counts live peer links that negotiated protocol v2.
+	ProtoV2Peers() int
 }
 
 // Server serves the wire protocol over TCP for one broker instance. Every
@@ -47,6 +53,14 @@ type Server struct {
 	overlay  Overlay
 	ln       net.Listener
 	log      *log.Logger
+	maxProto Proto
+
+	// Wire-level counters (stats frame): bytes and events received on
+	// publish/publish_batch frames, and frames observed queued behind the
+	// one being served (pipelining depth > 1).
+	wireBytes       atomic.Uint64
+	wireEvents      atomic.Uint64
+	framesPipelined atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -59,7 +73,7 @@ func NewServer(brk *broker.Broker, logger *log.Logger) *Server {
 	if logger == nil {
 		logger = log.New(discard{}, "", 0)
 	}
-	return &Server{brk: brk, log: logger, conns: make(map[net.Conn]struct{})}
+	return &Server{brk: brk, log: logger, maxProto: ProtoV2, conns: make(map[net.Conn]struct{})}
 }
 
 // SetDefaults installs opt-in fill-ins for event attributes omitted from
@@ -71,6 +85,17 @@ func (s *Server) SetDefaults(d *event.Defaults) { s.defaults = d }
 // subscribe/unsubscribe/publish activity is mirrored into it. Call before
 // Serve.
 func (s *Server) SetOverlay(o Overlay) { s.overlay = o }
+
+// SetMaxProto caps the protocol generation the server will negotiate
+// (ProtoV1 pins the daemon to JSON lines; ProtoAuto and ProtoV2 allow the
+// v2 upgrade). Call before Serve.
+func (s *Server) SetMaxProto(p Proto) {
+	if p == ProtoV1 {
+		s.maxProto = ProtoV1
+		return
+	}
+	s.maxProto = ProtoV2
+}
 
 type discard struct{}
 
@@ -175,12 +200,20 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// connState tracks one connection's subscriptions and synchronized writer.
+// connState tracks one connection's subscriptions, negotiated protocol and
+// synchronized writer. proto, slots and cid are owned by the request loop
+// goroutine: proto/slots are fixed before the first subscription can spawn a
+// forwarder, cid before each dispatch.
 type connState struct {
+	conn  net.Conn
+	proto Proto
+	slots *slots
+	cid   uint32
+	subs  map[string]*broker.Subscription
+	wg    sync.WaitGroup
+
 	mu   sync.Mutex
-	conn net.Conn
-	subs map[string]*broker.Subscription
-	wg   sync.WaitGroup
+	wbuf []byte // reused frame/line build buffer, guarded by mu
 }
 
 func (cs *connState) writeLine(v any) error {
@@ -195,10 +228,79 @@ func (cs *connState) writeLine(v any) error {
 	return err
 }
 
+// writeFrame writes an already-encoded v2 frame.
+func (cs *connState) writeFrame(b []byte) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
+	_, err := cs.conn.Write(b)
+	return err
+}
+
+// send writes one response on the connection's negotiated protocol. On v2
+// it reuses the connection's write buffer and pairs the response with the
+// request's correlation id.
+func (cs *connState) send(resp Response) error {
+	if cs.proto < ProtoV2 {
+		return cs.writeLine(resp)
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	b, err := appendResponseFrame(cs.wbuf[:0], cs.cid, resp, cs.slots)
+	if err != nil {
+		return err
+	}
+	cs.wbuf = b
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
+	_, err = cs.conn.Write(b)
+	return err
+}
+
+// sendOK acknowledges one v2 publish frame.
+func (cs *connState) sendOK(cid uint32, matched int) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.wbuf = appendOKFrame(cs.wbuf[:0], cid, matched)
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
+	_, err := cs.conn.Write(cs.wbuf)
+	return err
+}
+
+// sendOKBatch acknowledges one v2 publish_batch frame.
+func (cs *connState) sendOKBatch(cid uint32, counts []int) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.wbuf = appendOKBatchFrame(cs.wbuf[:0], cid, counts)
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
+	_, err := cs.conn.Write(cs.wbuf)
+	return err
+}
+
+// sendErr reports one failed v2 request.
+func (cs *connState) sendErr(cid uint32, op Op, msg string) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.wbuf = appendErrFrame(cs.wbuf[:0], cid, op, msg)
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
+	_, err := cs.conn.Write(cs.wbuf)
+	return err
+}
+
+// sendNotify pushes one notification in binary, straight from the broker's
+// event vector — no attribute map is built on the v2 path.
+func (cs *connState) sendNotify(profile string, seq uint64, vals []float64) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cs.wbuf = appendNotifyFrame(cs.wbuf[:0], profile, seq, vals)
+	//genas:allow locksafe cs.mu exists to serialize frame writes on the shared conn; nothing else is ever taken under it
+	_, err := cs.conn.Write(cs.wbuf)
+	return err
+}
+
 // handle runs one connection's request loop.
 func (s *Server) handle(conn net.Conn) {
 	defer s.untrack(conn)
-	cs := &connState{conn: conn, subs: make(map[string]*broker.Subscription)}
+	cs := &connState{conn: conn, proto: ProtoV1, subs: make(map[string]*broker.Subscription)}
 	defer func() {
 		// Tear down this connection's subscriptions, then wait for their
 		// forwarder goroutines (closing the subscription closes its channel,
@@ -212,10 +314,15 @@ func (s *Server) handle(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
+	rd := bufio.NewReaderSize(conn, 64*1024)
+	for {
+		line, err := ReadLine(rd)
+		if err != nil {
+			if err != io.EOF {
+				s.log.Printf("wire: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
 		if len(line) == 0 {
 			continue
 		}
@@ -225,6 +332,27 @@ func (s *Server) handle(conn net.Conn) {
 			continue
 		}
 		if req.Op == OpHello {
+			if req.Node == "" && req.Proto >= int(ProtoV2) {
+				// A v2-capable client asking to upgrade (peer hellos always
+				// carry a node name). Confirm with the schema so the client
+				// can build its slot table, then switch codecs: every byte
+				// after this response line is a binary frame.
+				if s.maxProto < ProtoV2 {
+					_ = cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: "protocol v2 disabled"})
+					continue
+				}
+				if len(cs.subs) != 0 {
+					_ = cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: "hello must be the connection's first frame"})
+					continue
+				}
+				if err := cs.writeLine(Response{Type: MsgOK, Op: req.Op, Proto: int(ProtoV2), Attributes: schemaPayload(s.brk.Schema())}); err != nil {
+					return
+				}
+				cs.proto = ProtoV2
+				cs.slots = newSlots(attrNames(s.brk.Schema()))
+				s.serveV2(cs, rd)
+				return
+			}
 			// A peer daemon, not a client: hand the connection over to the
 			// federation layer, which runs the link until it drops.
 			if s.overlay == nil {
@@ -239,12 +367,23 @@ func (s *Server) handle(conn net.Conn) {
 				_ = cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: "hello must be the connection's first frame"})
 				continue
 			}
+			if s.maxProto < ProtoV2 && req.Proto >= int(ProtoV2) {
+				// A v1-pinned daemon negotiates every peer link down to v1.
+				req.Proto = int(ProtoV1)
+			}
 			// Forwarders of already-removed subscriptions may still be
 			// draining; wait them out so no stray write can interleave with
 			// the peer frame stream.
 			cs.wg.Wait()
-			s.overlay.HandlePeer(conn, sc, req)
+			s.overlay.HandlePeer(conn, rd, req)
 			return
+		}
+		if req.Op == OpPublish || req.Op == OpPublishBatch {
+			s.wireBytes.Add(uint64(len(line) + 1))
+			s.wireEvents.Add(uint64(max(1, len(req.Events))))
+			if rd.Buffered() > 0 {
+				s.framesPipelined.Add(1)
+			}
 		}
 		if err := s.dispatch(cs, req); err != nil {
 			if writeErr := cs.writeLine(Response{Type: MsgError, Op: req.Op, Error: err.Error()}); writeErr != nil {
@@ -252,9 +391,186 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		s.log.Printf("wire: connection %s: %v", conn.RemoteAddr(), err)
+}
+
+// serveV2 runs the connection after a negotiated upgrade: binary frames in
+// both directions, many requests in flight. The read buffer and the event
+// scratch vector are reused across frames — the hot publish path decodes
+// into scratch, matches, and answers without allocating.
+func (s *Server) serveV2(cs *connState, rd *bufio.Reader) {
+	sch := s.brk.Schema()
+	var (
+		buf     []byte
+		scratch = make([]float64, 0, sch.N())
+		evs     []event.Event
+	)
+	for {
+		typ, payload, err := ReadFrame(rd, &buf)
+		if err != nil {
+			// Framing is unrecoverable: a truncated, oversized or malformed
+			// prefix means the stream position is lost, so the connection
+			// closes (the deferred teardown in handle drops subscriptions).
+			if err != io.EOF {
+				s.log.Printf("wire: v2 connection %s: %v", cs.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if rd.Buffered() > 0 {
+			s.framesPipelined.Add(1)
+		}
+		switch typ {
+		case framePublish:
+			cid, vals, err := decodePublishFrame(payload, scratch)
+			if cap(vals) > cap(scratch) {
+				scratch = vals
+			}
+			if err != nil {
+				s.log.Printf("wire: v2 connection %s: %v", cs.conn.RemoteAddr(), err)
+				return
+			}
+			s.wireBytes.Add(uint64(len(payload) + 5))
+			s.wireEvents.Add(1)
+			matched, err := s.publishVals(sch, vals)
+			if err != nil {
+				if cs.sendErr(cid, OpPublish, err.Error()) != nil {
+					return
+				}
+				continue
+			}
+			if cs.sendOK(cid, matched) != nil {
+				return
+			}
+
+		case framePublishBatch:
+			c := cur{b: payload}
+			cid := c.u32()
+			n := c.u32()
+			if c.bad || n == 0 || uint64(n) > uint64(len(c.b)) {
+				s.log.Printf("wire: v2 connection %s: %v", cs.conn.RemoteAddr(), fmt.Errorf("%w: bad batch count", ErrBadFrame))
+				return
+			}
+			// Batch events are retained by notifications, so each vector is
+			// decoded into its own slice (the v1 path allocates per event
+			// too — the batch saving is in framing and response coalescing).
+			evs = evs[:0]
+			for i := uint32(0); i < n && !c.bad; i++ {
+				evs = append(evs, event.Event{Vals: c.vec(make([]float64, 0, sch.N()))})
+			}
+			if err := c.done(); err != nil {
+				s.log.Printf("wire: v2 connection %s: %v", cs.conn.RemoteAddr(), err)
+				return
+			}
+			s.wireBytes.Add(uint64(len(payload) + 5))
+			s.wireEvents.Add(uint64(n))
+			counts, err := s.publishBatchVals(sch, evs)
+			if err != nil {
+				if cs.sendErr(cid, OpPublishBatch, err.Error()) != nil {
+					return
+				}
+				continue
+			}
+			if cs.sendOKBatch(cid, counts) != nil {
+				return
+			}
+
+		case frameControl:
+			cid, req, err := decodeRequestFrame(typ, payload, cs.slots)
+			if err != nil {
+				s.log.Printf("wire: v2 connection %s: %v", cs.conn.RemoteAddr(), err)
+				return
+			}
+			if req.Op == OpHello {
+				if cs.sendErr(cid, req.Op, "connection already upgraded") != nil {
+					return
+				}
+				continue
+			}
+			cs.cid = cid
+			if err := s.dispatch(cs, req); err != nil {
+				if cs.sendErr(cid, req.Op, err.Error()) != nil {
+					return
+				}
+			}
+
+		default:
+			s.log.Printf("wire: v2 connection %s: %v", cs.conn.RemoteAddr(),
+				fmt.Errorf("%w: unknown frame type 0x%02x", ErrBadFrame, typ))
+			return
+		}
 	}
+}
+
+// publishVals validates a slot vector against the schema domains (matching
+// the v1 JSON path's strictness) and publishes it on the broker's
+// zero-allocation value path. vals may be a reused scratch slice: the broker
+// copies on match and the overlay encodes synchronously.
+func (s *Server) publishVals(sch *schema.Schema, vals []float64) (int, error) {
+	if len(vals) != sch.N() {
+		return 0, fmt.Errorf("%w: got %d values for %d attributes", event.ErrArity, len(vals), sch.N())
+	}
+	for i, v := range vals {
+		if err := sch.Validate(i, v); err != nil {
+			return 0, err
+		}
+	}
+	matched, err := s.brk.PublishValues(vals)
+	if err != nil {
+		return 0, err
+	}
+	if s.overlay != nil {
+		s.overlay.EventPublished(event.Event{Vals: vals})
+	}
+	return matched, nil
+}
+
+// publishBatchVals validates and publishes a decoded v2 batch.
+func (s *Server) publishBatchVals(sch *schema.Schema, evs []event.Event) ([]int, error) {
+	for i, ev := range evs {
+		if len(ev.Vals) != sch.N() {
+			return nil, fmt.Errorf("event %d: %w: got %d values for %d attributes", i, event.ErrArity, len(ev.Vals), sch.N())
+		}
+		for j, v := range ev.Vals {
+			if err := sch.Validate(j, v); err != nil {
+				return nil, fmt.Errorf("event %d: %w", i, err)
+			}
+		}
+	}
+	counts, err := s.brk.PublishBatch(evs)
+	if err != nil {
+		return nil, err
+	}
+	if s.overlay != nil {
+		for _, ev := range evs {
+			s.overlay.EventPublished(ev)
+		}
+	}
+	return counts, nil
+}
+
+// schemaPayload renders the broker schema as wire attribute descriptors (the
+// schema response and the v2 hello confirmation share it: slot i on the wire
+// is attribute i in this list).
+func schemaPayload(sch *schema.Schema) []AttrPayload {
+	attrs := make([]AttrPayload, sch.N())
+	for i := 0; i < sch.N(); i++ {
+		a := sch.At(i)
+		attrs[i] = AttrPayload{
+			Name:   a.Name,
+			Kind:   a.Domain.Kind().String(),
+			Lo:     a.Domain.Lo(),
+			Hi:     a.Domain.Hi(),
+			Labels: a.Domain.Labels(),
+		}
+	}
+	return attrs
+}
+
+func attrNames(sch *schema.Schema) []string {
+	names := make([]string, sch.N())
+	for i := range names {
+		names[i] = sch.At(i).Name
+	}
+	return names
 }
 
 // dispatch executes one request; returned errors are reported to the client.
@@ -262,21 +578,10 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 	sch := s.brk.Schema()
 	switch req.Op {
 	case OpPing:
-		return cs.writeLine(Response{Type: MsgPong, Op: req.Op})
+		return cs.send(Response{Type: MsgPong, Op: req.Op})
 
 	case OpSchema:
-		attrs := make([]AttrPayload, sch.N())
-		for i := 0; i < sch.N(); i++ {
-			a := sch.At(i)
-			attrs[i] = AttrPayload{
-				Name:   a.Name,
-				Kind:   a.Domain.Kind().String(),
-				Lo:     a.Domain.Lo(),
-				Hi:     a.Domain.Hi(),
-				Labels: a.Domain.Labels(),
-			}
-		}
-		return cs.writeLine(Response{Type: MsgSchema, Op: req.Op, Attributes: attrs})
+		return cs.send(Response{Type: MsgSchema, Op: req.Op, Attributes: schemaPayload(sch)})
 
 	case OpSubscribe:
 		if req.ID == "" {
@@ -300,7 +605,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		if s.overlay != nil {
 			s.overlay.ProfileAdded(p)
 		}
-		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
+		return cs.send(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
 
 	case OpUnsubscribe:
 		if _, ok := cs.subs[req.ID]; !ok {
@@ -313,7 +618,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		if s.overlay != nil {
 			s.overlay.ProfileRemoved(predicate.ID(req.ID))
 		}
-		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
+		return cs.send(Response{Type: MsgOK, Op: req.Op, Profile: req.ID})
 
 	case OpPublish:
 		ev, err := event.FromMapWith(sch, req.Event, s.defaults)
@@ -327,7 +632,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		if s.overlay != nil {
 			s.overlay.EventPublished(ev)
 		}
-		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Matched: matched})
+		return cs.send(Response{Type: MsgOK, Op: req.Op, Matched: matched})
 
 	case OpPublishBatch:
 		if len(req.Events) == 0 {
@@ -354,7 +659,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		for _, c := range counts {
 			total += c
 		}
-		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Matched: total, MatchedEach: counts})
+		return cs.send(Response{Type: MsgOK, Op: req.Op, Matched: total, MatchedEach: counts})
 
 	case OpQuench:
 		i, err := sch.Index(req.Attr)
@@ -362,7 +667,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 			return err
 		}
 		q := s.brk.Quenched(i, schema.Closed(req.Lo, req.Hi))
-		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Quenched: q})
+		return cs.send(Response{Type: MsgOK, Op: req.Op, Quenched: q})
 
 	case OpProfiles:
 		var payload []ProfilePayload
@@ -373,7 +678,7 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 				Priority: p.Priority,
 			})
 		}
-		return cs.writeLine(Response{Type: MsgOK, Op: req.Op, Profiles: payload})
+		return cs.send(Response{Type: MsgOK, Op: req.Op, Profiles: payload})
 
 	case OpStats:
 		st := s.brk.Stats()
@@ -398,8 +703,13 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 		}
 		if s.overlay != nil {
 			payload.Node, payload.Peers, payload.Forwarded, payload.Filtered = s.overlay.Stats()
+			payload.ProtoV2Peers = s.overlay.ProtoV2Peers()
 		}
-		return cs.writeLine(Response{Type: MsgStats, Op: req.Op, Stats: payload})
+		if we := s.wireEvents.Load(); we > 0 {
+			payload.BytesPerEventWire = float64(s.wireBytes.Load()) / float64(we)
+		}
+		payload.FramesPipelined = s.framesPipelined.Load()
+		return cs.send(Response{Type: MsgStats, Op: req.Op, Stats: payload})
 
 	default:
 		return fmt.Errorf("unknown op %q", req.Op)
@@ -407,10 +717,17 @@ func (s *Server) dispatch(cs *connState, req Request) error {
 }
 
 // forward pushes one subscription's notifications to the connection until
-// the subscription channel closes.
+// the subscription channel closes. On v2 the event vector goes out in
+// binary as-is; v1 builds the attribute-name map the JSON codec needs.
 func (s *Server) forward(cs *connState, sub *broker.Subscription) {
 	sch := s.brk.Schema()
 	for n := range sub.C() {
+		if cs.proto >= ProtoV2 {
+			if err := cs.sendNotify(string(n.Profile), n.Event.Seq, n.Event.Vals); err != nil {
+				return
+			}
+			continue
+		}
 		payload := make(map[string]float64, sch.N())
 		for i, v := range n.Event.Vals {
 			payload[sch.At(i).Name] = v

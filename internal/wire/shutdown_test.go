@@ -194,6 +194,150 @@ func TestCloseWithoutContextCancel(t *testing.T) {
 	}
 }
 
+// upgradeRaw dials a raw TCP connection and performs the v2 hello upgrade by
+// hand, returning the connection positioned at the start of the binary
+// stream.
+func upgradeRaw(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := EncodeLine(Request{Op: OpHello, Proto: int(ProtoV2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	rd := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := ReadLine(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeResponse(line)
+	if err != nil || resp.Type != MsgOK || resp.Proto < int(ProtoV2) {
+		t.Fatalf("upgrade refused: %+v %v", resp, err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	return conn, rd
+}
+
+// TestV2GarbageClosesConnection pins the v2 framing error policy: once the
+// stream position is lost — garbage length prefixes, truncated frames,
+// unknown frame types — the server closes that connection (the only safe
+// move) without taking the daemon down, and a later Server.Close must not
+// wedge on the aborted connections.
+func TestV2GarbageClosesConnection(t *testing.T) {
+	sch, err := schema.ParseSpec("temperature=numeric[-30,50]; humidity=numeric[0,100]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	brk, err := broker.New(sch, broker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brk.Close()
+	srv := NewServer(brk, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), ln) }()
+	addr := ln.Addr().String()
+
+	// expectClosed waits for the server to drop the connection.
+	expectClosed := func(t *testing.T, conn net.Conn, rd *bufio.Reader) {
+		t.Helper()
+		_ = conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		var buf []byte
+		for {
+			if _, _, err := ReadFrame(rd, &buf); err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrFrameTruncated) {
+					return // remote close observed
+				}
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					t.Fatal("server kept the connection open after garbage")
+				}
+				return // reset — also a close
+			}
+		}
+	}
+
+	t.Run("oversized length prefix", func(t *testing.T) {
+		conn, rd := upgradeRaw(t, addr)
+		defer func() { _ = conn.Close() }()
+		if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02}); err != nil {
+			t.Fatal(err)
+		}
+		expectClosed(t, conn, rd)
+	})
+
+	t.Run("mid-stream garbage", func(t *testing.T) {
+		conn, rd := upgradeRaw(t, addr)
+		defer func() { _ = conn.Close() }()
+		// A plausible small length with an unknown type byte and junk payload.
+		if _, err := conn.Write([]byte{0, 0, 0, 5, 0x7F, 'j', 'u', 'n', 'k'}); err != nil {
+			t.Fatal(err)
+		}
+		expectClosed(t, conn, rd)
+	})
+
+	t.Run("truncated length prefix", func(t *testing.T) {
+		conn, rd := upgradeRaw(t, addr)
+		defer func() { _ = conn.Close() }()
+		if _, err := conn.Write([]byte{0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		if cw, ok := conn.(*net.TCPConn); ok {
+			_ = cw.CloseWrite()
+		}
+		expectClosed(t, conn, rd)
+	})
+
+	t.Run("zero length frame", func(t *testing.T) {
+		conn, rd := upgradeRaw(t, addr)
+		defer func() { _ = conn.Close() }()
+		if _, err := conn.Write([]byte{0, 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+		expectClosed(t, conn, rd)
+	})
+
+	// The daemon survived every aborted connection: a healthy v2 client still
+	// round-trips, and Close does not wedge on the corpses.
+	c, err := DialWith(addr, DialConfig{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged after v2 garbage connections")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}
+
 // TestAcceptDuringCloseRace hammers connection acceptance against Close: a
 // connection accepted while Close runs must either be served or dropped,
 // never leaked past the Close barrier (which would trip the WaitGroup

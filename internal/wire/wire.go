@@ -11,6 +11,20 @@ import (
 	"fmt"
 )
 
+// Proto selects a wire protocol generation for a connection or peer link.
+type Proto int
+
+// Protocol generations. The zero value (ProtoAuto) negotiates: speak v2 when
+// both ends support it, fall back to v1 otherwise.
+const (
+	ProtoAuto Proto = 0
+	// ProtoV1 is the JSON-line protocol: one JSON object per line.
+	ProtoV1 Proto = 1
+	// ProtoV2 is the binary frame protocol (see frame.go): length-prefixed
+	// frames, schema-indexed event vectors, correlation-id pipelining.
+	ProtoV2 Proto = 2
+)
+
 // Op enumerates request operations.
 type Op string
 
@@ -76,6 +90,10 @@ type Request struct {
 	// Schema is the sender's schema rendering, checked for equality during
 	// the peer handshake (hello frames).
 	Schema string `json:"schema,omitempty"`
+	// Proto advertises the sender's maximum supported protocol generation in
+	// hello frames. Absent (0) means v1: pre-v2 peers never send it, so the
+	// negotiated protocol with them is min(2, 1) = 1 and nothing changes.
+	Proto int `json:"proto,omitempty"`
 }
 
 // MsgType enumerates server→client message types.
@@ -118,6 +136,13 @@ type Response struct {
 	Attributes []AttrPayload `json:"attributes,omitempty"`
 	// Profiles lists registered subscriptions for OpProfiles.
 	Profiles []ProfilePayload `json:"profiles,omitempty"`
+	// Proto confirms the negotiated protocol generation in a hello response
+	// (0 when absent, meaning v1).
+	Proto int `json:"proto,omitempty"`
+	// Vals is the notification payload as a schema-order vector when the
+	// notification arrived on a v2 connection. Never on the wire — v2 carries
+	// it in binary, v1 uses Event.
+	Vals []float64 `json:"-"`
 }
 
 // ProfilePayload describes one registered profile on the wire.
@@ -154,6 +179,14 @@ type StatsPayload struct {
 	// crossings avoided by early rejection at this daemon's links.
 	Forwarded uint64 `json:"forwarded,omitempty"`
 	Filtered  uint64 `json:"peer_filtered,omitempty"`
+	// ProtoV2Peers counts live peer links that negotiated protocol v2.
+	ProtoV2Peers int `json:"proto_v2_peers,omitempty"`
+	// BytesPerEventWire is the mean wire bytes per event received on
+	// publish/publish_batch frames (both protocols), measured at the server.
+	BytesPerEventWire float64 `json:"bytes_per_event_wire,omitempty"`
+	// FramesPipelined counts request frames that were already buffered
+	// behind the one being served — depth>1 pipelining observed on the wire.
+	FramesPipelined uint64 `json:"frames_pipelined,omitempty"`
 }
 
 // AttrPayload describes one schema attribute on the wire.
